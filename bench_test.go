@@ -1,0 +1,96 @@
+// Benchmarks regenerating the paper's evaluation, one per figure/table.
+// Each iteration runs a reduced sweep of the corresponding experiment on
+// the simulated machine and reports headline simulated metrics; cmd/stbench
+// runs the full sweeps and prints the complete tables.
+//
+//	go test -bench=. -benchmem
+package stacktrack_test
+
+import (
+	"testing"
+
+	"stacktrack"
+	"stacktrack/internal/bench"
+)
+
+// benchOpts is the reduced sweep used inside testing.B iterations.
+func benchOpts() stacktrack.Options {
+	o := stacktrack.QuickOptions()
+	o.Threads = []int{1, 4, 8, 12}
+	o.MeasureMs = 2
+	o.WarmupMs = 0.5
+	return o
+}
+
+// runExperiment runs one experiment generator b.N times.
+func runExperiment(b *testing.B, fn func(stacktrack.Options) (*stacktrack.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := fn(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure1List(b *testing.B)     { runExperiment(b, stacktrack.Figure1List) }
+func BenchmarkFigure1SkipList(b *testing.B) { runExperiment(b, stacktrack.Figure1SkipList) }
+func BenchmarkFigure2Queue(b *testing.B)    { runExperiment(b, stacktrack.Figure2Queue) }
+func BenchmarkFigure2Hash(b *testing.B)     { runExperiment(b, stacktrack.Figure2Hash) }
+func BenchmarkFigure3Aborts(b *testing.B)   { runExperiment(b, stacktrack.Figure3Aborts) }
+func BenchmarkFigure4Splits(b *testing.B)   { runExperiment(b, stacktrack.Figure4Splits) }
+func BenchmarkFigure5SlowPath(b *testing.B) { runExperiment(b, stacktrack.Figure5SlowPath) }
+func BenchmarkTableScanStats(b *testing.B)  { runExperiment(b, stacktrack.TableScanStats) }
+
+// benchScheme measures one structure × scheme point at 8 threads, reporting
+// the simulated throughput alongside the host cost of simulating it.
+func benchScheme(b *testing.B, structure, scheme string) {
+	b.Helper()
+	var simOps float64
+	for i := 0; i < b.N; i++ {
+		res, err := stacktrack.Run(stacktrack.Config{
+			Structure:     structure,
+			Scheme:        scheme,
+			Threads:       8,
+			WarmupCycles:  stacktrack.FromSeconds(0.001),
+			MeasureCycles: stacktrack.FromSeconds(0.004),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		simOps = res.Throughput
+	}
+	b.ReportMetric(simOps, "simulated-ops/sec")
+}
+
+func BenchmarkListOriginal(b *testing.B)   { benchScheme(b, bench.StructList, bench.SchemeOriginal) }
+func BenchmarkListHazards(b *testing.B)    { benchScheme(b, bench.StructList, bench.SchemeHazards) }
+func BenchmarkListEpoch(b *testing.B)      { benchScheme(b, bench.StructList, bench.SchemeEpoch) }
+func BenchmarkListDTA(b *testing.B)        { benchScheme(b, bench.StructList, bench.SchemeDTA) }
+func BenchmarkListStackTrack(b *testing.B) { benchScheme(b, bench.StructList, bench.SchemeStackTrack) }
+func BenchmarkSkipListStackTrack(b *testing.B) {
+	benchScheme(b, bench.StructSkipList, bench.SchemeStackTrack)
+}
+func BenchmarkQueueStackTrack(b *testing.B) {
+	benchScheme(b, bench.StructQueue, bench.SchemeStackTrack)
+}
+func BenchmarkHashStackTrack(b *testing.B) { benchScheme(b, bench.StructHash, bench.SchemeStackTrack) }
+
+// BenchmarkSimulatorThroughput measures the simulator itself: host time per
+// simulated basic block (the figure that bounds how long full sweeps take).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	var blocks uint64
+	for i := 0; i < b.N; i++ {
+		res, err := stacktrack.Run(stacktrack.Config{
+			Structure:     bench.StructSkipList,
+			Scheme:        bench.SchemeStackTrack,
+			Threads:       8,
+			WarmupCycles:  stacktrack.FromSeconds(0.0005),
+			MeasureCycles: stacktrack.FromSeconds(0.004),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		blocks += res.Core.SegmentBlocks
+	}
+	b.ReportMetric(float64(blocks)/float64(b.N), "simulated-blocks/op")
+}

@@ -1,0 +1,106 @@
+// Command stbench regenerates the evaluation of the StackTrack paper
+// (EuroSys 2014) on the simulated machine: every figure and the scan-
+// statistics table, as aligned text or CSV.
+//
+// Usage:
+//
+//	stbench [flags] [experiment ...]
+//
+// With no arguments it runs every experiment in paper order. Experiments:
+// figure1-list, figure1-skiplist, figure2-queue, figure2-hash,
+// figure3-aborts, figure4-splits, figure5-slowpath, table-scanstats.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"stacktrack/internal/bench"
+)
+
+func main() {
+	var (
+		quick     = flag.Bool("quick", false, "reduced sweep (fewer thread counts, shorter runs)")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		measureMs = flag.Float64("measure-ms", 0, "virtual measurement window per point (ms)")
+		warmupMs  = flag.Float64("warmup-ms", 0, "virtual warmup per point (ms)")
+		seed      = flag.Uint64("seed", 0, "master seed (0 = default)")
+		threads   = flag.String("threads", "", "comma-separated thread counts (e.g. 1,2,4,8,16)")
+		verbose   = flag.Bool("v", false, "print per-point progress to stderr")
+		list      = flag.Bool("list", false, "list experiment names and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments {
+			fmt.Println(e.Name)
+		}
+		return
+	}
+
+	opts := bench.Options{}
+	if *quick {
+		opts = bench.QuickOptions()
+	}
+	if *measureMs > 0 {
+		opts.MeasureMs = *measureMs
+	}
+	if *warmupMs > 0 {
+		opts.WarmupMs = *warmupMs
+	}
+	opts.Seed = *seed
+	if *threads != "" {
+		opts.Threads = nil
+		for _, part := range strings.Split(*threads, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "stbench: bad thread count %q\n", part)
+				os.Exit(2)
+			}
+			opts.Threads = append(opts.Threads, n)
+		}
+	}
+	if *verbose {
+		opts.Progress = os.Stderr
+	}
+
+	want := flag.Args()
+	selected := func(name string) bool {
+		if len(want) == 0 {
+			return true
+		}
+		for _, w := range want {
+			if w == name {
+				return true
+			}
+		}
+		return false
+	}
+
+	ran := 0
+	for _, e := range bench.Experiments {
+		if !selected(e.Name) {
+			continue
+		}
+		tb, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stbench: %s: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Printf("# %s\n", tb.Title)
+			tb.CSV(os.Stdout)
+			fmt.Println()
+		} else {
+			tb.Fprint(os.Stdout)
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "stbench: no experiment matched %v (use -list)\n", want)
+		os.Exit(2)
+	}
+}

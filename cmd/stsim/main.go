@@ -1,0 +1,139 @@
+// Command stsim runs a single benchmark configuration on the simulated
+// machine and prints a detailed report: throughput, operation outcomes,
+// transactional-memory events, StackTrack internals, and memory hygiene.
+// It is the inspection companion to cmd/stbench's sweeps.
+//
+// Usage:
+//
+//	stsim -structure skiplist -scheme StackTrack -threads 8 -measure-ms 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"stacktrack/internal/bench"
+	"stacktrack/internal/core"
+	"stacktrack/internal/cost"
+)
+
+func main() {
+	var (
+		structure = flag.String("structure", bench.StructSkipList, "list|skiplist|queue|hash|rbtree")
+		scheme    = flag.String("scheme", bench.SchemeStackTrack, "Original|Epoch|Hazards|DTA|StackTrack|UnsafeFree")
+		threads   = flag.Int("threads", 8, "simulated threads (1-64)")
+		measureMs = flag.Float64("measure-ms", 20, "virtual measurement window (ms)")
+		warmupMs  = flag.Float64("warmup-ms", 5, "virtual warmup (ms)")
+		seed      = flag.Uint64("seed", 0, "master seed (0 = default)")
+		initial   = flag.Int("initial", 0, "initial structure size (0 = paper default)")
+		mutate    = flag.Int("mutate", 0, "mutation percentage (0 = paper's 20)")
+		slowPct   = flag.Int("force-slow", 0, "force this % of ops onto the slow path")
+		maxFree   = flag.Int("scan-every", 0, "free-set size triggering a scan (0 = paper's 10)")
+		hashScan  = flag.Bool("hashed-scan", false, "use the §5.2 hashed scan")
+		predictor = flag.String("predictor", "", "split predictor: additive|aimd")
+		validate  = flag.Bool("validate", true, "poison-check every load")
+		traceN    = flag.Int("trace", 0, "record and print up to N simulation events")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{
+		Structure:     *structure,
+		Scheme:        *scheme,
+		Threads:       *threads,
+		Seed:          *seed,
+		InitialSize:   *initial,
+		MutatePct:     *mutate,
+		WarmupCycles:  cost.FromSeconds(*warmupMs / 1000),
+		MeasureCycles: cost.FromSeconds(*measureMs / 1000),
+		Validate:      *validate,
+		TraceEvents:   *traceN,
+	}
+	cfg.Core.ForceSlowPct = *slowPct
+	cfg.Core.MaxFree = *maxFree
+	cfg.Core.HashedScan = *hashScan
+	cfg.Core.Predictor = *predictor
+
+	res, err := bench.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stsim: %v\n", err)
+		os.Exit(1)
+	}
+	report(res)
+	if res.Trace != nil {
+		fmt.Printf("\ntrace (%d events", res.Trace.Len())
+		if res.Trace.Dropped() > 0 {
+			fmt.Printf(", %d dropped", res.Trace.Dropped())
+		}
+		fmt.Println(")")
+		if err := res.Trace.Dump(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "stsim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func report(r *bench.Result) {
+	c := r.Config
+	fmt.Printf("stsim — %s / %s, %d threads, %.1f ms measured (seed %#x)\n\n",
+		c.Structure, c.Scheme, c.Threads, cost.Seconds(c.MeasureCycles)*1000, c.Seed)
+
+	fmt.Println("throughput")
+	fmt.Printf("  %14.0f ops/sec (%d ops in the window)\n", r.Throughput, r.Ops)
+	fmt.Printf("  %14d hits   %d inserts   %d deletes (successful, measured window)\n",
+		r.Hits, r.SuccInserts, r.SuccDeletes)
+
+	fmt.Println("\ntransactional memory")
+	m := r.Mem
+	fmt.Printf("  %14d transactions begun, %d committed\n", m.TxBegins, m.Commits)
+	fmt.Printf("  %14d conflict aborts\n  %14d capacity aborts\n  %14d preempt aborts\n  %14d explicit aborts\n",
+		m.ConflictAborts, m.CapacityAborts, m.PreemptAborts, m.ExplicitAborts)
+	fmt.Printf("  %14d coherence misses (%d tx reads, %d tx writes, %d plain reads, %d plain writes)\n",
+		m.CoherenceMisses, m.TxReads, m.TxWrites, m.PlainReads, m.PlainWrites)
+
+	if c.Scheme == bench.SchemeStackTrack {
+		s := r.Core
+		ops := s.OpsFast + s.OpsSlow
+		fmt.Println("\nstacktrack")
+		fmt.Printf("  %14d segments committed", s.Segments)
+		if ops > 0 {
+			fmt.Printf(" (%.2f splits/op)", float64(s.Segments)/float64(ops))
+		}
+		fmt.Println()
+		if s.Segments > 0 {
+			fmt.Printf("  %14.2f blocks average segment length (predictor at %.2f)\n",
+				float64(s.SegmentBlocks)/float64(s.Segments), r.AvgSegmentLimit)
+		}
+		fmt.Printf("  %14d fast-path ops, %d slow-path ops\n", s.OpsFast, s.OpsSlow)
+		fmt.Printf("  %14d scans (%d restarts), %d words inspected\n",
+			s.Scans, s.ScanRestarts, s.ScannedWords)
+		if s.ScanTargets > 0 {
+			fmt.Printf("  %14.2f average stack depth per inspection\n",
+				float64(s.ScannedDepth)/float64(s.ScanTargets))
+		}
+		fmt.Printf("  %14d retired, %d freed, %d deferred by live references\n",
+			s.Frees, s.Freed, s.FalseHeld)
+
+		fmt.Println("\nsegment length distribution (blocks)")
+		var maxN uint64
+		for _, n := range s.SegLenHist {
+			if n > maxN {
+				maxN = n
+			}
+		}
+		for b, n := range s.SegLenHist {
+			if maxN == 0 {
+				break
+			}
+			bar := strings.Repeat("#", int(40*n/maxN))
+			fmt.Printf("  %7s %10d %s\n", core.HistLabel(b), n, bar)
+		}
+	}
+
+	fmt.Println("\nmemory hygiene (after drain)")
+	fmt.Printf("  %14d final elements\n", r.FinalCount)
+	fmt.Printf("  %14d live objects, %d leaked, %d frees still pending\n",
+		r.LiveObjects, r.LeakedObjects, r.PendingFrees)
+	fmt.Printf("  %14d use-after-free reads\n", r.UAFReads)
+}

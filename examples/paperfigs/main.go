@@ -1,0 +1,30 @@
+// Paperfigs: regenerate a reduced version of the paper's Figure 1 (list
+// throughput across reclamation schemes) and Figure 4 (split behaviour) in
+// a few seconds. cmd/stbench runs the full versions.
+//
+//	go run ./examples/paperfigs
+package main
+
+import (
+	"log"
+	"os"
+
+	"stacktrack"
+)
+
+func main() {
+	opts := stacktrack.QuickOptions()
+	opts.Progress = os.Stderr
+
+	fig1, err := stacktrack.Figure1List(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fig1.Fprint(os.Stdout)
+
+	fig4, err := stacktrack.Figure4Splits(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fig4.Fprint(os.Stdout)
+}

@@ -1,0 +1,45 @@
+// Queuepipe: a producer/consumer pipeline over the Michael-Scott queue,
+// showing why reclamation matters — without it, a queue that stays small
+// logically grows without bound physically, because every dequeue retires
+// a node that is never freed.
+//
+//	go run ./examples/queuepipe
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stacktrack"
+)
+
+func main() {
+	fmt.Println("Queue pipeline — 8 threads, 50% enqueue/dequeue, simulated 20 ms")
+	fmt.Println()
+	fmt.Printf("%-11s %14s %14s %12s %12s\n",
+		"scheme", "ops/sec", "queue length", "live nodes", "leaked")
+
+	for _, scheme := range []string{
+		stacktrack.SchemeOriginal,
+		stacktrack.SchemeEpoch,
+		stacktrack.SchemeStackTrack,
+	} {
+		res, err := stacktrack.Run(stacktrack.Config{
+			Structure: stacktrack.StructQueue,
+			Scheme:    scheme,
+			Threads:   8,
+			MutatePct: 50, // heavy churn: the leak grows fast
+			Validate:  true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-11s %14.0f %14d %12d %12d\n",
+			scheme, res.Throughput, res.FinalCount-1, res.LiveObjects, res.LeakedObjects)
+	}
+
+	fmt.Println()
+	fmt.Println("Original's live nodes dwarf its queue length: every retired dummy")
+	fmt.Println("leaked. StackTrack reclaims them on the fly by scanning thread")
+	fmt.Println("stacks and registers under hardware-transaction protection.")
+}

@@ -1,0 +1,51 @@
+// Quickstart: run the paper's skip-list benchmark under StackTrack and
+// under hazard pointers on the simulated 8-way Haswell, and compare.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stacktrack"
+)
+
+func main() {
+	fmt.Println("StackTrack quickstart — skip list, 100K nodes, 20% mutations, 8 threads")
+	fmt.Println()
+
+	var base float64
+	for _, scheme := range []string{
+		stacktrack.SchemeOriginal,
+		stacktrack.SchemeHazards,
+		stacktrack.SchemeStackTrack,
+	} {
+		res, err := stacktrack.Run(stacktrack.Config{
+			Structure: stacktrack.StructSkipList,
+			Scheme:    scheme,
+			Threads:   8,
+			Validate:  true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if base == 0 {
+			base = res.Throughput
+		}
+		fmt.Printf("%-11s %12.0f ops/sec (%5.1f%% of Original)",
+			scheme, res.Throughput, 100*res.Throughput/base)
+		if scheme == stacktrack.SchemeStackTrack {
+			fmt.Printf("  [%d segments, %d scans, %d nodes reclaimed]",
+				res.Core.Segments, res.Core.Scans, res.Core.Freed)
+		}
+		fmt.Println()
+		if res.UAFReads != 0 {
+			log.Fatalf("%s: use-after-free reads detected!", scheme)
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("Original leaks retired nodes; the others reclaim them — all without")
+	fmt.Println("a single use-after-free, verified by poison checking on every load.")
+}

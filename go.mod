@@ -1,0 +1,3 @@
+module stacktrack
+
+go 1.22

@@ -1,0 +1,264 @@
+package alloc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"stacktrack/internal/mem"
+	"stacktrack/internal/rng"
+	"stacktrack/internal/word"
+)
+
+func newAlloc(t *testing.T) (*Allocator, *mem.Memory) {
+	t.Helper()
+	m := mem.New(mem.Config{Words: 1 << 16})
+	return New(m), m
+}
+
+func TestStaticAlignmentAndDisjointness(t *testing.T) {
+	a, _ := newAlloc(t)
+	p1 := a.Static(5)
+	p2 := a.Static(3)
+	if uint64(p1)%word.LineWords != 0 || uint64(p2)%word.LineWords != 0 {
+		t.Fatal("static allocations must be line-aligned")
+	}
+	if p2 < p1+5 {
+		t.Fatal("static allocations overlap")
+	}
+	if p1 == 0 {
+		t.Fatal("address 0 must stay reserved")
+	}
+}
+
+func TestStaticAfterHeapPanics(t *testing.T) {
+	a, _ := newAlloc(t)
+	a.Alloc(0, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Static after heap use should panic")
+		}
+	}()
+	a.Static(1)
+}
+
+func TestAllocZeroesAndAligns(t *testing.T) {
+	a, m := newAlloc(t)
+	m.Poke(0, 0) // silence unused
+	p := a.Alloc(0, 3)
+	if uint64(p)%word.AllocAlign != 0 {
+		t.Fatalf("object %#x not %d-word aligned", uint64(p), word.AllocAlign)
+	}
+	for i := word.Addr(0); i < 4; i++ {
+		if m.Peek(p+i) != 0 {
+			t.Fatal("allocation not zeroed")
+		}
+	}
+}
+
+func TestFreePoisons(t *testing.T) {
+	a, m := newAlloc(t)
+	p := a.Alloc(0, 4)
+	m.Poke(p, 123)
+	a.Free(0, p)
+	if !word.IsPoison(m.Peek(p)) {
+		t.Fatal("freed object not poisoned")
+	}
+}
+
+func TestFreePoisonDoomsTransactions(t *testing.T) {
+	a, m := newAlloc(t)
+	p := a.Alloc(0, 4)
+	tx := m.Begin(1)
+	m.TxRead(tx, p)
+	a.Free(0, p)
+	if doomed, _ := tx.Doomed(); !doomed {
+		t.Fatal("free should doom a transaction still tracking the object")
+	}
+	m.FinishAbort(tx)
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	a, _ := newAlloc(t)
+	p := a.Alloc(0, 4)
+	a.Free(0, p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free should panic")
+		}
+	}()
+	a.Free(0, p)
+}
+
+func TestFreeInteriorPanics(t *testing.T) {
+	a, _ := newAlloc(t)
+	p := a.Alloc(0, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("interior free should panic")
+		}
+	}()
+	a.Free(0, p+1)
+}
+
+func TestFreeNonHeapPanics(t *testing.T) {
+	a, _ := newAlloc(t)
+	s := a.Static(4)
+	a.Alloc(0, 4) // open the heap
+	defer func() {
+		if recover() == nil {
+			t.Fatal("free of a static address should panic")
+		}
+	}()
+	a.Free(0, s)
+}
+
+func TestReuseAfterFree(t *testing.T) {
+	a, _ := newAlloc(t)
+	p := a.Alloc(0, 4)
+	a.Free(0, p)
+	q := a.Alloc(0, 4)
+	if q != p {
+		t.Fatalf("expected LIFO reuse of %#x, got %#x", uint64(p), uint64(q))
+	}
+}
+
+func TestUnalloc(t *testing.T) {
+	a, _ := newAlloc(t)
+	before := a.Stats().Allocs
+	p := a.Alloc(0, 4)
+	a.Unalloc(p)
+	st := a.Stats()
+	if st.Allocs != before {
+		t.Fatal("Unalloc should erase the allocation from stats")
+	}
+	if a.IsAllocated(p) {
+		t.Fatal("unallocated object still allocated")
+	}
+}
+
+func TestObjectStart(t *testing.T) {
+	a, _ := newAlloc(t)
+	s := a.Static(2)   // static allocation must precede heap use
+	p := a.Alloc(0, 8) // class 8
+	for i := word.Addr(0); i < 8; i++ {
+		os, ok := a.ObjectStart(p + i)
+		if !ok || os != p {
+			t.Fatalf("ObjectStart(%#x) = %#x,%v want %#x", uint64(p+i), uint64(os), ok, uint64(p))
+		}
+	}
+	if _, ok := a.ObjectStart(0); ok {
+		t.Fatal("null resolved to an object")
+	}
+	if _, ok := a.ObjectStart(s); ok {
+		t.Fatal("static address resolved to a heap object")
+	}
+	a.Free(0, p)
+	if _, ok := a.ObjectStart(p); ok {
+		t.Fatal("freed slot resolved to an object")
+	}
+}
+
+func TestSizeOf(t *testing.T) {
+	a, _ := newAlloc(t)
+	p := a.Alloc(0, 5)
+	if n, ok := a.SizeOf(p); !ok || n != 8 {
+		t.Fatalf("SizeOf = %d,%v want 8 (size class)", n, ok)
+	}
+	if _, ok := a.SizeOf(p + 1); ok {
+		t.Fatal("SizeOf of interior pointer should fail")
+	}
+}
+
+func TestOversizeAllocFails(t *testing.T) {
+	a, _ := newAlloc(t)
+	if _, err := a.TryAlloc(0, PageWords+1); err == nil {
+		t.Fatal("oversize allocation should fail")
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	m := mem.New(mem.Config{Words: 4 * PageWords})
+	a := New(m)
+	var err error
+	for i := 0; i < 10000; i++ {
+		if _, err = a.TryAlloc(0, 256); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		t.Fatal("heap never exhausted")
+	}
+}
+
+func TestDifferentClassesDisjoint(t *testing.T) {
+	a, _ := newAlloc(t)
+	small := a.Alloc(0, 2)
+	big := a.Alloc(0, 100)
+	ss, _ := a.SizeOf(small)
+	if small+word.Addr(ss) > big && big+128 > small && word.Line(small) == word.Line(big) {
+		t.Fatal("objects of different classes share a page unexpectedly")
+	}
+	if os, ok := a.ObjectStart(big + 77); !ok || os != big {
+		t.Fatal("interior pointer into large object not resolved")
+	}
+}
+
+// TestAllocatorInvariantsProperty runs random alloc/free sequences and
+// checks: no two live objects overlap, live stats match, ObjectStart
+// resolves every live interior pointer, and freed memory is poisoned.
+func TestAllocatorInvariantsProperty(t *testing.T) {
+	run := func(seed uint64) bool {
+		m := mem.New(mem.Config{Words: 1 << 15})
+		a := New(m)
+		r := rng.New(seed)
+		type obj struct {
+			p word.Addr
+			n int // class size
+		}
+		var live []obj
+		for i := 0; i < 800; i++ {
+			if len(live) == 0 || r.Intn(100) < 55 {
+				req := 1 + r.Intn(40)
+				p, err := a.TryAlloc(0, req)
+				if err != nil {
+					continue
+				}
+				n, _ := a.SizeOf(p)
+				live = append(live, obj{p, n})
+			} else {
+				k := r.Intn(len(live))
+				a.Free(0, live[k].p)
+				if !word.IsPoison(m.Peek(live[k].p)) {
+					t.Log("freed object not poisoned")
+					return false
+				}
+				live[k] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+		}
+		if a.Stats().LiveObjects != uint64(len(live)) {
+			t.Logf("live objects %d, tracked %d", a.Stats().LiveObjects, len(live))
+			return false
+		}
+		// Overlap and range-query checks.
+		seen := map[word.Addr]bool{}
+		for _, o := range live {
+			for i := 0; i < o.n; i++ {
+				w := o.p + word.Addr(i)
+				if seen[w] {
+					t.Log("overlapping live objects")
+					return false
+				}
+				seen[w] = true
+				if os, ok := a.ObjectStart(w); !ok || os != o.p {
+					t.Log("ObjectStart failed for live interior pointer")
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(run, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

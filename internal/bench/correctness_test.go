@@ -1,0 +1,259 @@
+package bench
+
+import (
+	"testing"
+
+	"stacktrack/internal/cost"
+)
+
+// TestConservationAcrossSchemes: for every scheme and set structure, the
+// final membership must equal initial + successful inserts − successful
+// deletes, with no use-after-free and (for reclaiming schemes) no leaked
+// objects after drain.
+func TestConservationAcrossSchemes(t *testing.T) {
+	structures := []string{StructList, StructSkipList, StructHash}
+	schemes := []string{SchemeOriginal, SchemeEpoch, SchemeHazards, SchemeRefCount, SchemeStackTrack}
+	for _, st := range structures {
+		for _, sc := range schemes {
+			st, sc := st, sc
+			t.Run(st+"/"+sc, func(t *testing.T) {
+				cfg := smokeCfg(st, sc, 4)
+				res, err := Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := cfg.InitialSize + int(res.TotalInserts) - int(res.TotalDeletes)
+				if res.FinalCount != want {
+					t.Fatalf("conservation: final %d, want %d (+%d -%d)",
+						res.FinalCount, want, res.TotalInserts, res.TotalDeletes)
+				}
+				if res.UAFReads != 0 {
+					t.Fatalf("use-after-free reads: %d", res.UAFReads)
+				}
+			})
+		}
+	}
+}
+
+func TestQueueConservationAcrossSchemes(t *testing.T) {
+	for _, sc := range []string{SchemeOriginal, SchemeEpoch, SchemeHazards, SchemeStackTrack} {
+		sc := sc
+		t.Run(sc, func(t *testing.T) {
+			cfg := smokeCfg(StructQueue, sc, 4)
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// BaselineLive counts remaining elements + dummy.
+			want := cfg.QueuePrefill + int(res.TotalInserts) - int(res.TotalDeletes) + 1
+			if int(res.BaselineLive) != want {
+				t.Fatalf("queue conservation: %d live, want %d", res.BaselineLive, want)
+			}
+			if res.UAFReads != 0 {
+				t.Fatalf("use-after-free reads: %d", res.UAFReads)
+			}
+		})
+	}
+}
+
+// TestReclamationHygiene: every reclaiming scheme must return all retired
+// nodes to the allocator once threads are idle — live objects equal the
+// structure's membership.
+func TestReclamationHygiene(t *testing.T) {
+	for _, sc := range []string{SchemeEpoch, SchemeHazards, SchemeDTA, SchemeRefCount, SchemeStackTrack} {
+		sc := sc
+		t.Run(sc, func(t *testing.T) {
+			res, err := Run(smokeCfg(StructList, sc, 4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.LeakedObjects != 0 {
+				t.Fatalf("leaked %d objects (live %d, baseline %d)",
+					res.LeakedObjects, res.LiveObjects, res.BaselineLive)
+			}
+			if res.PendingFrees != 0 {
+				t.Fatalf("%d frees still pending after drain", res.PendingFrees)
+			}
+		})
+	}
+}
+
+// TestOriginalLeaks: the no-reclamation baseline must demonstrably leak
+// under a mutating workload.
+func TestOriginalLeaks(t *testing.T) {
+	res, err := Run(smokeCfg(StructQueue, SchemeOriginal, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LeakedObjects == 0 {
+		t.Fatal("Original scheme should leak retired nodes")
+	}
+}
+
+// TestDeterminism: identical configurations produce identical results.
+func TestDeterminism(t *testing.T) {
+	cfg := smokeCfg(StructSkipList, SchemeStackTrack, 6)
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Ops != b.Ops || a.SuccInserts != b.SuccInserts || a.Mem.Commits != b.Mem.Commits ||
+		a.Core.Segments != b.Core.Segments || a.FinalCount != b.FinalCount {
+		t.Fatalf("nondeterministic results:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// TestSeedChangesSchedule: different seeds must explore different
+// interleavings (schedule fuzzing would be useless otherwise).
+func TestSeedChangesSchedule(t *testing.T) {
+	cfg1 := smokeCfg(StructList, SchemeStackTrack, 4)
+	cfg2 := cfg1
+	cfg2.Seed = cfg1.Seed + 1
+	a, err := Run(cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Ops == b.Ops && a.SuccInserts == b.SuccInserts && a.Mem.PlainReads == b.Mem.PlainReads {
+		t.Fatal("different seeds produced byte-identical executions")
+	}
+}
+
+// TestScheduleFuzzMatrix stresses every reclaiming scheme on every set
+// structure across random schedules: many seeds, small structures, high
+// mutation rate — any unsound free shows up as a poison read, a broken
+// conservation count, or a wild-pointer crash. (This matrix is what caught
+// the skip list's premature level-0-snip retirement.)
+func TestScheduleFuzzMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("schedule fuzzing is slow")
+	}
+	structures := []string{StructList, StructSkipList, StructHash}
+	schemes := []string{SchemeStackTrack, SchemeEpoch, SchemeHazards, SchemeDTA, SchemeRefCount}
+	fuzzOne := func(structure, scheme string, seed uint64, threads int) (res *Result, err error, crash any) {
+		defer func() { crash = recover() }()
+		res, err = Run(Config{
+			Structure:     structure,
+			Scheme:        scheme,
+			Threads:       threads,
+			Seed:          seed,
+			InitialSize:   48,
+			KeyRange:      96,
+			MutatePct:     60,
+			WarmupCycles:  cost.FromSeconds(0.0002),
+			MeasureCycles: cost.FromSeconds(0.002),
+			MemWords:      1 << 20,
+			Validate:      true,
+		})
+		return
+	}
+	for _, structure := range structures {
+		for _, scheme := range schemes {
+			if scheme == SchemeDTA && structure != StructList {
+				continue // the paper implements DTA for the list only
+			}
+			for seed := uint64(1); seed <= 6; seed++ {
+				for _, threads := range []int{3, 7, 13} {
+					res, err, crash := fuzzOne(structure, scheme, seed, threads)
+					if crash != nil {
+						t.Fatalf("%s/%s seed %d threads %d: crashed: %v", structure, scheme, seed, threads, crash)
+					}
+					if err != nil {
+						t.Fatal(err)
+					}
+					if res.UAFReads != 0 {
+						t.Fatalf("%s/%s seed %d threads %d: use-after-free", structure, scheme, seed, threads)
+					}
+					want := 48 + int(res.TotalInserts) - int(res.TotalDeletes)
+					if res.FinalCount != want {
+						t.Fatalf("%s/%s seed %d threads %d: conservation %d != %d",
+							structure, scheme, seed, threads, res.FinalCount, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStackTrackScansActuallyRun asserts the reclamation path is genuinely
+// exercised during the measured window (it would be vacuous otherwise).
+func TestStackTrackScansActuallyRun(t *testing.T) {
+	cfg := smokeCfg(StructQueue, SchemeStackTrack, 4)
+	cfg.MutatePct = 50
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Core.Scans == 0 || res.Core.Freed == 0 {
+		t.Fatalf("no scanning/freeing during measurement: %+v", res.Core)
+	}
+	if res.Core.Segments == 0 {
+		t.Fatal("no transactional segments committed")
+	}
+}
+
+// TestOversubscribedRunsPreempt asserts the third regime is exercised.
+func TestOversubscribedRunsPreempt(t *testing.T) {
+	cfg := smokeCfg(StructList, SchemeStackTrack, 12)
+	cfg.MeasureCycles = cost.FromSeconds(0.008)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mem.PreemptAborts == 0 {
+		t.Fatal("no preemption aborts with 12 threads on 8 contexts")
+	}
+}
+
+// TestHyperthreadCapacityPressure asserts capacity aborts appear once
+// sibling contexts fill (Figure 3's knee).
+func TestHyperthreadCapacityPressure(t *testing.T) {
+	few, err := Run(smokeCfg(StructList, SchemeStackTrack, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := Run(smokeCfg(StructList, SchemeStackTrack, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if many.Mem.CapacityAborts <= few.Mem.CapacityAborts {
+		t.Fatalf("capacity aborts did not grow with hyperthread pressure: %d -> %d",
+			few.Mem.CapacityAborts, many.Mem.CapacityAborts)
+	}
+}
+
+// TestForcedSlowPathFraction asserts the Figure 5 knob forces the intended
+// share of operations onto the slow path.
+func TestForcedSlowPathFraction(t *testing.T) {
+	cfg := smokeCfg(StructSkipList, SchemeStackTrack, 2)
+	cfg.Core.ForceSlowPct = 100
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Core.OpsFast != 0 || res.Core.OpsSlow == 0 {
+		t.Fatalf("forced slow path: fast=%d slow=%d", res.Core.OpsFast, res.Core.OpsSlow)
+	}
+	if res.UAFReads != 0 {
+		t.Fatal("slow path allowed a use-after-free")
+	}
+}
+
+func TestUnknownConfigsFail(t *testing.T) {
+	if _, err := Run(Config{Structure: "btree"}); err == nil {
+		t.Fatal("unknown structure accepted")
+	}
+	if _, err := Run(Config{Scheme: "rcu"}); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+	if _, err := Run(Config{Threads: 65}); err == nil {
+		t.Fatal("too many threads accepted")
+	}
+}

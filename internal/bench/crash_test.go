@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"testing"
+
+	"stacktrack/internal/cost"
+)
+
+// crashCfg runs the list workload with one thread killed mid-operation.
+func crashCfg(scheme string) Config {
+	cfg := smokeCfg(StructList, scheme, 4)
+	cfg.MeasureCycles = cost.FromSeconds(0.008)
+	cfg.CrashThreads = 1
+	return cfg
+}
+
+// TestCrashStackTrackBounded: with a crashed thread, StackTrack keeps
+// reclaiming; only the references pinned by the dead thread's stack and
+// registers stay unreclaimed.
+func TestCrashStackTrackBounded(t *testing.T) {
+	res, err := Run(crashCfg(SchemeStackTrack))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UAFReads != 0 {
+		t.Fatal("crash must never cause a use-after-free under StackTrack")
+	}
+	if res.Core.Freed == 0 {
+		t.Fatal("reclamation stopped entirely after the crash")
+	}
+	unreclaimed := res.LeakedObjects + uint64(res.PendingFrees)
+	// The dead thread's frame and registers can pin only a handful of
+	// nodes (its operation's locals).
+	if unreclaimed > 16 {
+		t.Fatalf("unreclaimed = %d; should be bounded by the dead thread's locals", unreclaimed)
+	}
+}
+
+// TestCrashEpochStalls: the blocking quiescence scheme waits forever on the
+// dead thread — reclaiming threads hang and throughput collapses relative
+// to the non-blocking schemes.
+func TestCrashEpochStalls(t *testing.T) {
+	epoch, err := Run(crashCfg(SchemeEpoch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Run(crashCfg(SchemeStackTrack))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch.Throughput*3 > st.Throughput {
+		t.Fatalf("epoch should collapse after a crash: epoch %.0f vs stacktrack %.0f ops/s",
+			epoch.Throughput, st.Throughput)
+	}
+}
+
+// TestCrashHazardsUnaffected: hazard pointers never wait, so a crash only
+// pins the dead thread's hazard-slot targets.
+func TestCrashHazardsUnaffected(t *testing.T) {
+	res, err := Run(crashCfg(SchemeHazards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UAFReads != 0 {
+		t.Fatal("crash caused a use-after-free under hazard pointers")
+	}
+	unreclaimed := res.LeakedObjects + uint64(res.PendingFrees)
+	if unreclaimed > 16 {
+		t.Fatalf("unreclaimed = %d under hazard pointers", unreclaimed)
+	}
+}
+
+// TestCrashedThreadLooksBusy: the scheme-visible state of a crashed thread
+// is "forever mid-operation", never "done".
+func TestCrashedThreadLooksBusy(t *testing.T) {
+	cfg := crashCfg(SchemeStackTrack)
+	in, err := newInstance(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.sc.Run(cfg.WarmupCycles)
+	victim := in.threads[cfg.Threads-1]
+	horizon := cfg.WarmupCycles
+	for tries := 0; tries < 10000 && !in.midOp(victim); tries++ {
+		horizon += 5000
+		in.sc.Run(horizon)
+	}
+	in.sc.Crash(victim.ID)
+	if !victim.Crashed() || victim.Done() {
+		t.Fatal("crashed thread must be crashed and not done")
+	}
+	if !in.midOp(victim) {
+		t.Fatal("victim was not mid-operation at the crash")
+	}
+	// The survivors keep running.
+	before := victim.VTime()
+	in.sc.Run(horizon + cost.FromSeconds(0.002))
+	if victim.VTime() != before {
+		t.Fatal("crashed thread kept executing")
+	}
+	var survivorOps uint64
+	for _, th := range in.threads[:cfg.Threads-1] {
+		survivorOps += th.OpsDone
+	}
+	if survivorOps == 0 {
+		t.Fatal("survivors made no progress")
+	}
+}

@@ -1,0 +1,509 @@
+// Package bench is the experiment harness: it assembles a simulated
+// machine, a reclamation scheme, a data structure, and a workload; runs
+// warmup / measurement / drain phases; and reports the metrics behind every
+// figure and table of the paper's evaluation (§6).
+package bench
+
+import (
+	"fmt"
+
+	"stacktrack/internal/alloc"
+	"stacktrack/internal/core"
+	"stacktrack/internal/cost"
+	"stacktrack/internal/ds"
+	"stacktrack/internal/mem"
+	"stacktrack/internal/prog"
+	"stacktrack/internal/reclaim"
+	"stacktrack/internal/rng"
+	"stacktrack/internal/sched"
+	"stacktrack/internal/topo"
+	"stacktrack/internal/trace"
+	"stacktrack/internal/word"
+	"stacktrack/internal/workload"
+)
+
+// Scheme names accepted by Config.Scheme.
+const (
+	SchemeOriginal   = "Original"
+	SchemeEpoch      = "Epoch"
+	SchemeHazards    = "Hazards"
+	SchemeDTA        = "DTA"
+	SchemeRefCount   = "RefCount"
+	SchemeStackTrack = "StackTrack"
+)
+
+// Structure names accepted by Config.Structure.
+const (
+	StructList     = "list"
+	StructSkipList = "skiplist"
+	StructQueue    = "queue"
+	StructHash     = "hash"
+	StructRBTree   = "rbtree"
+)
+
+// Config describes one benchmark run.
+type Config struct {
+	Structure string
+	Scheme    string
+	Threads   int
+	Seed      uint64
+
+	// Set workload parameters (list/skiplist/hash/rbtree).
+	InitialSize int
+	KeyRange    uint64
+	MutatePct   int
+	Buckets     int // hash only
+
+	// QueuePrefill seeds the queue before measurement.
+	QueuePrefill int
+
+	// Virtual-time phases.
+	WarmupCycles  cost.Cycles
+	MeasureCycles cost.Cycles
+
+	MemWords int
+	Topology topo.Topology
+	Core     core.Config
+
+	// Validate enables poison (use-after-free) detection on every load.
+	Validate bool
+
+	// TraceEvents, when positive, records up to that many simulation
+	// events (segment commits/aborts, scans, frees, preemptions) into
+	// Result.Trace.
+	TraceEvents int
+
+	// CrashThreads kills this many threads (the highest-numbered ones)
+	// mid-operation after warmup, reproducing the paper's thread-crash
+	// failure mode: quiescence-based schemes stop reclaiming entirely,
+	// scan/pointer-based schemes keep only the dead threads' references
+	// alive.
+	CrashThreads int
+}
+
+// WithDefaults fills unset fields with the paper's parameters.
+func (c Config) WithDefaults() Config {
+	if c.Structure == "" {
+		c.Structure = StructList
+	}
+	if c.Scheme == "" {
+		c.Scheme = SchemeStackTrack
+	}
+	if c.Threads <= 0 {
+		c.Threads = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x57ACC7AC4
+	}
+	if c.InitialSize <= 0 {
+		switch c.Structure {
+		case StructSkipList:
+			c.InitialSize = 100_000
+		case StructHash:
+			c.InitialSize = 10_000
+		case StructRBTree:
+			c.InitialSize = 65_535
+		default:
+			c.InitialSize = 5_000
+		}
+	}
+	if c.KeyRange == 0 {
+		c.KeyRange = 2 * uint64(c.InitialSize)
+	}
+	if c.MutatePct == 0 {
+		c.MutatePct = 20
+	}
+	if c.Buckets == 0 {
+		c.Buckets = 4096
+	}
+	if c.QueuePrefill == 0 {
+		c.QueuePrefill = 1024
+	}
+	if c.WarmupCycles == 0 {
+		c.WarmupCycles = cost.FromSeconds(0.005)
+	}
+	if c.MeasureCycles == 0 {
+		c.MeasureCycles = cost.FromSeconds(0.020)
+	}
+	if c.MemWords == 0 {
+		c.MemWords = 1 << 22
+	}
+	if c.Topology.Cores == 0 {
+		c.Topology = topo.Haswell8Way()
+	}
+	return c
+}
+
+// Result is the metric bundle of one run.
+type Result struct {
+	Config Config
+
+	// Ops completed during the measurement window and the derived
+	// throughput in operations per virtual second.
+	Ops        uint64
+	Throughput float64
+
+	// SuccInserts/SuccDeletes/Hits classify operations completed during
+	// the measurement window.
+	SuccInserts uint64
+	SuccDeletes uint64
+	Hits        uint64
+
+	// TotalInserts/TotalDeletes cover the whole run (warmup, measurement,
+	// and drain), so conservation holds exactly:
+	// FinalCount == InitialSize + TotalInserts - TotalDeletes.
+	TotalInserts uint64
+	TotalDeletes uint64
+
+	Mem  mem.Stats  // transactional-memory events during measurement
+	Core core.Stats // StackTrack events during measurement (zero otherwise)
+
+	// Memory hygiene after the drain phase.
+	LiveObjects   uint64 // allocator objects still allocated
+	BaselineLive  uint64 // objects the structure legitimately retains
+	PendingFrees  int    // retired nodes still awaiting reclamation
+	LeakedObjects uint64 // LiveObjects - BaselineLive - structure churn
+	UAFReads      uint64 // poison loads observed (0 for a correct scheme)
+
+	// FinalCount is the structure's element count after drain (sets).
+	FinalCount int
+
+	// AvgSegmentLimit is the predictor's converged split length (Fig. 4).
+	AvgSegmentLimit float64
+
+	// Trace holds recorded simulation events when Config.TraceEvents > 0.
+	Trace *trace.Recorder
+}
+
+// instance bundles the live simulation objects of one run.
+type instance struct {
+	cfg Config
+	m   *mem.Memory
+	al  *alloc.Allocator
+	sc  *sched.Scheduler
+
+	threads []*sched.Thread
+	drivers []*prog.Driver
+	scheme  sched.Reclaimer
+	st      *core.StackTrack // nil unless Scheme == StackTrack
+
+	stopping bool
+	baseline func() uint64
+	tracer   *trace.Recorder
+	// structure retains the data-structure object for tests/diagnostics.
+	structure any
+
+	// op counters, classified on completion
+	succIns, succDel, hits uint64
+	uafReads               uint64
+}
+
+// Run executes one benchmark configuration end to end.
+func Run(cfg Config) (*Result, error) {
+	in, err := newInstance(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return in.runAll()
+}
+
+// newInstance assembles the simulation for cfg without running it.
+func newInstance(cfg Config) (*instance, error) {
+	cfg = cfg.WithDefaults()
+	if cfg.Threads > mem.MaxThreads {
+		return nil, fmt.Errorf("bench: %d threads exceeds the %d-thread limit", cfg.Threads, mem.MaxThreads)
+	}
+
+	in := &instance{cfg: cfg}
+	in.m = mem.New(mem.Config{Words: cfg.MemWords, Topology: cfg.Topology})
+	in.al = alloc.New(in.m)
+	in.sc = sched.NewScheduler(in.m, cfg.Topology, cfg.Seed)
+
+	if cfg.TraceEvents > 0 {
+		in.tracer = trace.NewRecorder(cfg.TraceEvents)
+	}
+
+	// Threads first: their stacks and register files are static regions.
+	seedStream := cfg.Seed
+	for i := 0; i < cfg.Threads; i++ {
+		t := sched.NewThread(i, in.m, in.al, rng.Splitmix64(&seedStream))
+		if cfg.Validate {
+			t.Validate = true
+			t.SetUAFReporter(func(t *sched.Thread, a word.Addr) { in.uafReads++ })
+		}
+		if in.tracer != nil {
+			t.Tracer = in.tracer
+		}
+		in.threads = append(in.threads, t)
+	}
+
+	// Scheme next: hazard/anchor slots are also static regions.
+	if err := in.buildScheme(); err != nil {
+		return nil, err
+	}
+	for _, t := range in.threads {
+		t.Scheme = in.scheme
+		in.scheme.Attach(t)
+	}
+
+	// Structure roots are the last static allocations; prefill opens the
+	// heap.
+	nextOp, baseline, err := in.buildStructure()
+	if err != nil {
+		return nil, err
+	}
+	in.baseline = baseline
+
+	for _, t := range in.threads {
+		d := &prog.Driver{
+			Runner: in.newRunner(),
+			Next: func(t *sched.Thread) (*prog.Op, [3]uint64, bool) {
+				if in.stopping {
+					return nil, [3]uint64{}, false
+				}
+				op, args := nextOp(t)
+				return op, args, true
+			},
+			OnDone: in.classify,
+		}
+		in.drivers = append(in.drivers, d)
+		in.sc.AddThread(t, d)
+	}
+	return in, nil
+}
+
+// runAll executes the warmup, measurement, and drain phases.
+func (in *instance) runAll() (*Result, error) {
+	cfg := in.cfg
+
+	// Warmup: let the split predictor converge (§6 "Split predictor").
+	in.sc.Run(cfg.WarmupCycles)
+
+	// Crash injection: kill the highest-numbered threads mid-operation,
+	// so their stacks pin references forever.
+	horizon := cfg.WarmupCycles
+	for i := 0; i < cfg.CrashThreads && i < cfg.Threads-1; i++ {
+		tid := cfg.Threads - 1 - i
+		victim := in.threads[tid]
+		for tries := 0; tries < 10_000 && !in.midOp(victim); tries++ {
+			horizon += 5_000
+			in.sc.Run(horizon)
+		}
+		in.sc.Crash(tid)
+	}
+
+	// Measurement.
+	in.m.ResetStats()
+	if in.st != nil {
+		in.st.ResetStats()
+	}
+	warmIns, warmDel, warmHits := in.succIns, in.succDel, in.hits
+	var opsBefore uint64
+	for _, t := range in.threads {
+		opsBefore += t.OpsDone
+	}
+	in.sc.Run(cfg.WarmupCycles + cfg.MeasureCycles)
+
+	res := &Result{Config: cfg}
+	for _, t := range in.threads {
+		res.Ops += t.OpsDone
+	}
+	res.Ops -= opsBefore
+	res.Throughput = float64(res.Ops) / cost.Seconds(cfg.MeasureCycles)
+	res.Mem = in.m.TotalStats()
+	if in.st != nil {
+		res.Core = in.st.TotalStats()
+		res.AvgSegmentLimit = in.st.AvgSegmentLimit()
+	}
+	res.SuccInserts = in.succIns - warmIns
+	res.SuccDeletes = in.succDel - warmDel
+	res.Hits = in.hits - warmHits
+
+	// Drain: finish in-flight operations, then let the scheme reclaim.
+	in.stopping = true
+	in.sc.Run(cfg.WarmupCycles + cfg.MeasureCycles + cost.FromSeconds(1.0))
+	for range [4]int{} {
+		for _, t := range in.threads {
+			in.scheme.Drain(t)
+		}
+	}
+	if in.st != nil {
+		for _, t := range in.threads {
+			res.PendingFrees += in.st.PendingFrees(t)
+		}
+	}
+	res.TotalInserts, res.TotalDeletes = in.succIns, in.succDel
+	res.UAFReads = in.uafReads
+	res.LiveObjects = in.al.Stats().LiveObjects
+	res.BaselineLive = in.baseline()
+	if res.LiveObjects >= res.BaselineLive {
+		res.LeakedObjects = res.LiveObjects - res.BaselineLive
+	}
+	res.FinalCount = int(res.BaselineLive)
+	res.Trace = in.tracer
+	return res, nil
+}
+
+// midOp reports whether thread t is currently inside an operation, under
+// either activity-word or operation-counter-parity conventions.
+func (in *instance) midOp(t *sched.Thread) bool {
+	return in.m.Peek(t.ActivityAddr()) != 0 || in.m.Peek(t.OperCntAddr())%2 == 1
+}
+
+// newRunner returns a fresh per-thread operation runner.
+func (in *instance) newRunner() prog.Runner {
+	if in.st != nil {
+		return core.NewRunner(in.st)
+	}
+	return &prog.PlainRunner{}
+}
+
+// buildScheme constructs the reclamation scheme.
+func (in *instance) buildScheme() error {
+	if in.cfg.Scheme == SchemeStackTrack {
+		in.st = core.New(in.sc, in.al, in.cfg.Core)
+		in.scheme = in.st
+		return nil
+	}
+	s, err := reclaim.NewScheme(in.cfg.Scheme, in.sc, in.al)
+	if err != nil {
+		return err
+	}
+	in.scheme = s
+	return nil
+}
+
+// classify tallies operation outcomes.
+func (in *instance) classify(t *sched.Thread, op *prog.Op, result uint64) {
+	switch op.Name {
+	case "list.Insert", "skiplist.Insert", "hash.Insert", "queue.Enqueue":
+		if result != 0 {
+			in.succIns++
+		}
+	case "list.Delete", "skiplist.Delete", "hash.Delete":
+		if result != 0 {
+			in.succDel++
+		}
+	case "queue.Dequeue":
+		if result != 0 {
+			in.succDel++
+		}
+	default:
+		if result != 0 {
+			in.hits++
+		}
+	}
+}
+
+// buildStructure creates and prefills the benchmark structure and returns
+// the per-thread workload function plus a baseline() that counts the
+// structure's legitimate live objects after drain.
+func (in *instance) buildStructure() (func(t *sched.Thread) (*prog.Op, [3]uint64), func() uint64, error) {
+	cfg := in.cfg
+	switch cfg.Structure {
+	case StructList:
+		l := ds.NewList(in.al)
+		in.structure = l
+		keys := workload.SampleKeys(cfg.Seed+1, cfg.InitialSize, cfg.KeyRange)
+		l.Seed(in.al, in.m, keys, 7)
+		mix := workload.SetMix{KeyRange: cfg.KeyRange, MutatePct: cfg.MutatePct}
+		next := func(t *sched.Thread) (*prog.Op, [3]uint64) {
+			kind, key := mix.Next(t.Rng)
+			switch kind {
+			case workload.SetInsert:
+				return l.OpInsert, [3]uint64{key, key + 1}
+			case workload.SetDelete:
+				return l.OpDelete, [3]uint64{key}
+			default:
+				return l.OpContains, [3]uint64{key}
+			}
+		}
+		baseline := func() uint64 {
+			return uint64(len(ds.Walk(in.m, l.Head(), cfg.MemWords)))
+		}
+		return next, baseline, nil
+
+	case StructHash:
+		h := ds.NewHashTable(in.al, cfg.Buckets)
+		in.structure = h
+		keys := workload.SampleKeys(cfg.Seed+1, cfg.InitialSize, cfg.KeyRange)
+		h.Seed(in.al, in.m, keys, 7)
+		mix := workload.SetMix{KeyRange: cfg.KeyRange, MutatePct: cfg.MutatePct}
+		next := func(t *sched.Thread) (*prog.Op, [3]uint64) {
+			kind, key := mix.Next(t.Rng)
+			switch kind {
+			case workload.SetInsert:
+				return h.OpInsert, [3]uint64{key, key + 1}
+			case workload.SetDelete:
+				return h.OpDelete, [3]uint64{key}
+			default:
+				return h.OpContains, [3]uint64{key}
+			}
+		}
+		baseline := func() uint64 { return uint64(h.Count(in.m, cfg.MemWords)) }
+		return next, baseline, nil
+
+	case StructSkipList:
+		s := ds.NewSkipList(in.al)
+		in.structure = s
+		keys := workload.SampleKeys(cfg.Seed+1, cfg.InitialSize, cfg.KeyRange)
+		s.Seed(in.al, in.m, keys, 7, cfg.Seed+2)
+		mix := workload.SetMix{KeyRange: cfg.KeyRange, MutatePct: cfg.MutatePct}
+		next := func(t *sched.Thread) (*prog.Op, [3]uint64) {
+			kind, key := mix.Next(t.Rng)
+			switch kind {
+			case workload.SetInsert:
+				return s.OpInsert, [3]uint64{key, key + 1}
+			case workload.SetDelete:
+				return s.OpDelete, [3]uint64{key}
+			default:
+				return s.OpContains, [3]uint64{key}
+			}
+		}
+		baseline := func() uint64 {
+			return uint64(len(s.WalkLevel(in.m, 0, cfg.MemWords)))
+		}
+		return next, baseline, nil
+
+	case StructQueue:
+		q := ds.NewQueue(in.al)
+		in.structure = q
+		vals := make([]uint64, cfg.QueuePrefill)
+		for i := range vals {
+			vals[i] = uint64(i) + 1
+		}
+		q.Seed(in.al, in.m, vals)
+		mix := workload.QueueMix{MutatePct: cfg.MutatePct, ValRange: 1 << 20}
+		next := func(t *sched.Thread) (*prog.Op, [3]uint64) {
+			kind, val := mix.Next(t.Rng)
+			switch kind {
+			case workload.QueueEnqueue:
+				return q.OpEnqueue, [3]uint64{val}
+			case workload.QueueDequeue:
+				return q.OpDequeue, [3]uint64{}
+			default:
+				return q.OpPeek, [3]uint64{}
+			}
+		}
+		baseline := func() uint64 {
+			// Remaining elements plus the dummy node.
+			return uint64(len(q.Drain(in.m, cfg.MemWords))) + 1
+		}
+		return next, baseline, nil
+
+	case StructRBTree:
+		r := ds.NewRBTree(in.al)
+		in.structure = r
+		keys := workload.SampleKeys(cfg.Seed+1, cfg.InitialSize, cfg.KeyRange)
+		r.Seed(in.al, in.m, keys)
+		nKeys := uint64(len(keys))
+		next := func(t *sched.Thread) (*prog.Op, [3]uint64) {
+			return r.OpSearch, [3]uint64{keys[t.Rng.Uint64n(nKeys)]}
+		}
+		baseline := func() uint64 { return nKeys }
+		return next, baseline, nil
+
+	default:
+		return nil, nil, fmt.Errorf("bench: unknown structure %q", cfg.Structure)
+	}
+}

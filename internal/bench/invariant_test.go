@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"testing"
+
+	"stacktrack/internal/cost"
+	"stacktrack/internal/ds"
+	"stacktrack/internal/word"
+)
+
+// TestSkipListNoCycleUnderStress steps the simulation in small virtual-time
+// increments and checks the skip list's bottom level for cycles after every
+// increment — the corruption mode that once hid in the insert's link loop.
+func TestSkipListNoCycleUnderStress(t *testing.T) {
+	for _, scheme := range []string{SchemeOriginal, SchemeStackTrack} {
+		scheme := scheme
+		t.Run(scheme, func(t *testing.T) {
+			cfg := smokeCfg(StructSkipList, scheme, 3)
+			cfg.MutatePct = 60
+			in, err := newInstance(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := in.structure.(*ds.SkipList)
+			step := cost.FromSeconds(0.00002)
+			for until := step; until < cost.FromSeconds(0.004); until += step {
+				in.sc.Run(until)
+				if bad := findCycle(in, s); bad != 0 {
+					t.Fatalf("level-0 cycle through node %#x (key %d) at vtime %d",
+						uint64(bad), in.m.Peek(bad), until)
+				}
+			}
+		})
+	}
+}
+
+// findCycle walks level 0 with a visited set; returns the first revisited
+// node or 0.
+func findCycle(in *instance, s *ds.SkipList) word.Addr {
+	seen := map[word.Addr]bool{}
+	w := in.m.Peek(s.Head() + 3) // next[0] of the head tower
+	for {
+		p := word.Ptr(w)
+		if p == word.Null {
+			return 0
+		}
+		if seen[p] {
+			return p
+		}
+		seen[p] = true
+		w = in.m.Peek(p + 3)
+	}
+}

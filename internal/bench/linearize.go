@@ -1,0 +1,104 @@
+package bench
+
+// A per-key linearizability checker for set histories (Wing & Gong style).
+// Set operations on distinct keys commute, so a history is linearizable iff
+// each key's sub-history is (P-compositionality); per key, the object is a
+// two-state machine (absent/present), which keeps the search small.
+
+import (
+	"sort"
+
+	"stacktrack/internal/cost"
+)
+
+// KeyOpKind classifies one completed set operation on a single key.
+type KeyOpKind uint8
+
+// Key operation kinds.
+const (
+	KInsert KeyOpKind = iota
+	KDelete
+	KContains
+)
+
+// KeyOp is one completed operation with its real-time interval: Start is
+// when the operation was issued, End when it completed. Any linearization
+// must respect End(a) < Start(b) ⇒ a before b.
+type KeyOp struct {
+	Kind  KeyOpKind
+	OK    bool // the value the operation returned
+	Start cost.Cycles
+	End   cost.Cycles
+}
+
+// apply returns the follow-up state if op is legal in state present.
+func (op KeyOp) apply(present bool) (next bool, legal bool) {
+	switch op.Kind {
+	case KInsert:
+		if op.OK {
+			return true, !present
+		}
+		return present, present
+	case KDelete:
+		if op.OK {
+			return false, present
+		}
+		return present, !present
+	default: // contains
+		return present, op.OK == present
+	}
+}
+
+// CheckKeyLinearizable reports whether ops (one key's completed operations)
+// have a linearization starting from the given initial presence. Histories
+// larger than maxOps are not searched (the caller should treat that as
+// inconclusive rather than failing).
+const maxLinOps = 30
+
+func CheckKeyLinearizable(initial bool, ops []KeyOp) (ok, conclusive bool) {
+	if len(ops) > maxLinOps {
+		return true, false
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Start < ops[j].Start })
+
+	type stateKey struct {
+		done    uint32
+		present bool
+	}
+	visited := make(map[stateKey]bool)
+	var dfs func(done uint32, present bool) bool
+	dfs = func(done uint32, present bool) bool {
+		if done == uint32(1)<<len(ops)-1 {
+			return true
+		}
+		sk := stateKey{done, present}
+		if visited[sk] {
+			return false
+		}
+		visited[sk] = true
+		for i := range ops {
+			if done&(1<<i) != 0 {
+				continue
+			}
+			// Real-time order: i may go next only if every operation
+			// that completed before i started is already linearized.
+			blocked := false
+			for j := range ops {
+				if done&(1<<j) == 0 && j != i && ops[j].End < ops[i].Start {
+					blocked = true
+					break
+				}
+			}
+			if blocked {
+				continue
+			}
+			if next, legal := ops[i].apply(present); legal {
+				if dfs(done|1<<i, next) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return dfs(0, initial), true
+}

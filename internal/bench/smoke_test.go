@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"testing"
+
+	"stacktrack/internal/cost"
+)
+
+// smokeCfg is a small, fast configuration for integration smoke tests.
+func smokeCfg(structure, scheme string, threads int) Config {
+	return Config{
+		Structure:     structure,
+		Scheme:        scheme,
+		Threads:       threads,
+		InitialSize:   200,
+		KeyRange:      400,
+		Buckets:       64,
+		QueuePrefill:  64,
+		WarmupCycles:  cost.FromSeconds(0.0005),
+		MeasureCycles: cost.FromSeconds(0.002),
+		MemWords:      1 << 20,
+		Validate:      true,
+	}
+}
+
+func TestSmokeAllStructuresAllSchemes(t *testing.T) {
+	structures := []string{StructList, StructSkipList, StructQueue, StructHash}
+	schemes := []string{SchemeOriginal, SchemeEpoch, SchemeHazards, SchemeStackTrack}
+	for _, st := range structures {
+		for _, sc := range schemes {
+			st, sc := st, sc
+			t.Run(st+"/"+sc, func(t *testing.T) {
+				res, err := Run(smokeCfg(st, sc, 3))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Ops == 0 {
+					t.Fatal("no operations completed")
+				}
+				if res.UAFReads != 0 {
+					t.Fatalf("use-after-free reads: %d", res.UAFReads)
+				}
+				t.Logf("ops=%d throughput=%.0f live=%d baseline=%d pending=%d",
+					res.Ops, res.Throughput, res.LiveObjects, res.BaselineLive, res.PendingFrees)
+			})
+		}
+	}
+}
+
+func TestSmokeDTAList(t *testing.T) {
+	res, err := Run(smokeCfg(StructList, SchemeDTA, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 || res.UAFReads != 0 {
+		t.Fatalf("ops=%d uaf=%d", res.Ops, res.UAFReads)
+	}
+}
+
+func TestSmokeRBTree(t *testing.T) {
+	res, err := Run(smokeCfg(StructRBTree, SchemeStackTrack, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 || res.Hits == 0 {
+		t.Fatalf("ops=%d hits=%d", res.Ops, res.Hits)
+	}
+}

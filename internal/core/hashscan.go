@@ -1,0 +1,179 @@
+package core
+
+// The free-procedure optimization of §5.2: instead of rescanning every
+// thread's stack once per pointer in the free set (O(ptrs × stacks)), scan
+// each thread once, hashing every reference it exposes, then test each
+// free-set pointer against the hash set (O(stacks + ptrs)).
+//
+// The scan-consistency protocol is unchanged: a victim that commits a
+// segment mid-inspection is re-inspected. Entries hashed from a torn
+// inspection are kept — a stale entry can only defer a free, never allow
+// an unsafe one.
+//
+// The paper found this optimization did not pay off at its scan rates
+// (the cost is amortized over MaxFree frees); the ablation-scan experiment
+// reproduces exactly that comparison.
+
+import (
+	"stacktrack/internal/sched"
+	"stacktrack/internal/word"
+)
+
+// hashedScanState is the resumable state of one hashed SCAN_AND_FREE.
+type hashedScanState struct {
+	st      *StackTrack
+	ptrs    []word.Addr
+	victims []*sched.Thread
+
+	slowActive bool
+
+	ti      int
+	phase   int
+	operPre uint64
+	htmPre  uint64
+	sp      int
+	pos     int
+	refsLen int
+
+	// held collects the canonicalized object starts referenced anywhere.
+	held map[word.Addr]struct{}
+
+	ended bool
+}
+
+// startHashedScan snapshots the free set and prepares the state machine.
+func (st *StackTrack) startHashedScan(t *sched.Thread) *hashedScanState {
+	ts := st.state(t)
+	s := &hashedScanState{
+		st:         st,
+		ptrs:       append([]word.Addr(nil), ts.freeSet...),
+		victims:    st.sc.Threads(),
+		slowActive: st.slowCount > 0,
+		held:       make(map[word.Addr]struct{}, 64),
+	}
+	ts.freeSet = ts.freeSet[:0]
+	ts.stats.Scans++
+	t.Trace(sched.TraceScanStart, uint64(len(s.ptrs)))
+	return s
+}
+
+// note canonicalizes one scanned word into the held set.
+func (s *hashedScanState) note(w uint64) {
+	p := word.Ptr(w)
+	if os, ok := s.st.al.ObjectStart(p); ok {
+		s.held[os] = struct{}{}
+	}
+}
+
+// step advances the scan by one chunk; true when complete.
+func (s *hashedScanState) step(t *sched.Thread) bool {
+	if s.ti >= len(s.victims) {
+		if !s.ended {
+			s.ended = true
+			s.finish(t)
+		}
+		return true
+	}
+	ts := s.st.state(t)
+	v := s.victims[s.ti]
+
+	switch s.phase {
+	case phasePickVictim:
+		if v.Done() || t.LoadPlain(v.ActivityAddr()) == 0 {
+			s.ti++
+			return false
+		}
+		s.operPre = t.LoadPlain(v.OperCntAddr())
+		s.htmPre = t.LoadPlain(v.SplitsAddr())
+		s.sp = int(t.LoadPlain(v.SPAddr()))
+		if s.sp > sched.StackWords {
+			s.sp = sched.StackWords
+		}
+		s.pos = 0
+		ts.stats.ScanTargets++
+		s.phase = phaseStack
+
+	case phaseStack:
+		end := s.pos + s.st.cfg.ScanChunkWords
+		if end > s.sp {
+			end = s.sp
+		}
+		for ; s.pos < end; s.pos++ {
+			s.note(t.LoadPlain(v.StackBase + word.Addr(s.pos)))
+			ts.stats.ScannedWords++
+			ts.stats.ScannedDepth++
+		}
+		chargeWords(t, s.st.cfg.ScanChunkWords)
+		if s.pos >= s.sp {
+			s.phase = phaseRegs
+		}
+
+	case phaseRegs:
+		for i := 0; i < sched.NumRegs; i++ {
+			s.note(t.LoadPlain(v.RegsBase + word.Addr(i)))
+			ts.stats.ScannedWords++
+		}
+		chargeWords(t, sched.NumRegs)
+		if s.slowActive {
+			s.refsLen = int(t.LoadPlain(v.RefsLenAddr()))
+			if s.refsLen > sched.RefsWords {
+				s.refsLen = sched.RefsWords
+			}
+			s.pos = 0
+			s.phase = phaseRefs
+		} else {
+			s.phase = phaseVerify
+		}
+
+	case phaseRefs:
+		end := s.pos + s.st.cfg.ScanChunkWords
+		if end > s.refsLen {
+			end = s.refsLen
+		}
+		for ; s.pos < end; s.pos++ {
+			s.note(t.LoadPlain(v.RefsBase + word.Addr(s.pos)))
+			ts.stats.ScannedWords++
+		}
+		chargeWords(t, s.st.cfg.ScanChunkWords)
+		if s.pos >= s.refsLen {
+			s.phase = phaseVerify
+		}
+
+	case phaseVerify:
+		htmPost := t.LoadPlain(v.SplitsAddr())
+		operPost := t.LoadPlain(v.OperCntAddr())
+		if s.operPre == operPost && s.htmPre != htmPost {
+			// Re-inspect; entries already hashed stay (conservative).
+			ts.stats.ScanRestarts++
+			s.htmPre = t.LoadPlain(v.SplitsAddr())
+			s.sp = int(t.LoadPlain(v.SPAddr()))
+			if s.sp > sched.StackWords {
+				s.sp = sched.StackWords
+			}
+			s.pos = 0
+			s.phase = phaseStack
+			return false
+		}
+		s.ti++
+		s.phase = phasePickVictim
+	}
+	return false
+}
+
+// finish frees every pointer not present in the hash set.
+func (s *hashedScanState) finish(t *sched.Thread) {
+	ts := s.st.state(t)
+	var freed uint64
+	for _, p := range s.ptrs {
+		if _, live := s.held[p]; live {
+			ts.stats.FalseHeld++
+			ts.freeSet = append(ts.freeSet, p)
+			continue
+		}
+		t.Trace(sched.TraceFree, uint64(p))
+		t.FreeNow(p)
+		ts.stats.Freed++
+		freed++
+	}
+	t.Trace(sched.TraceScanEnd, freed)
+}

@@ -1,0 +1,83 @@
+package core
+
+// The dynamic split-length predictor (§5.3): every (operation id, split
+// index) pair — i.e. every distinct segment position in every operation —
+// has its own length limit in basic blocks. Five consecutive commits grow
+// the limit by one block; five consecutive aborts shrink it by one, down to
+// a floor of a single basic block (MANAGE_SPLIT_COMMIT / MANAGE_SPLIT_ABORT
+// in Algorithm 2).
+
+// ensureSeg grows the per-thread tables to cover (opID, split) and returns
+// the slot index pair.
+func (ts *tstate) ensureSeg(cfg Config, opID, split int) {
+	for len(ts.limits) <= opID {
+		ts.limits = append(ts.limits, nil)
+		ts.commitStreak = append(ts.commitStreak, nil)
+		ts.abortStreak = append(ts.abortStreak, nil)
+	}
+	for len(ts.limits[opID]) <= split {
+		ts.limits[opID] = append(ts.limits[opID], int32(cfg.InitialLimit))
+		ts.commitStreak[opID] = append(ts.commitStreak[opID], 0)
+		ts.abortStreak[opID] = append(ts.abortStreak[opID], 0)
+	}
+}
+
+// segLimit returns the current split length for segment (opID, split).
+func (ts *tstate) segLimit(cfg Config, opID, split int) int {
+	ts.ensureSeg(cfg, opID, split)
+	return int(ts.limits[opID][split])
+}
+
+// onSegCommit records a successful commit of segment (opID, split).
+func (ts *tstate) onSegCommit(cfg Config, opID, split int) {
+	ts.ensureSeg(cfg, opID, split)
+	ts.abortStreak[opID][split] = 0
+	ts.commitStreak[opID][split]++
+	if int(ts.commitStreak[opID][split]) >= cfg.Streak {
+		ts.commitStreak[opID][split] = 0
+		if int(ts.limits[opID][split]) < cfg.MaxLimit {
+			ts.limits[opID][split]++
+		}
+	}
+}
+
+// onSegAbort records an abort of segment (opID, split). The default policy
+// is the paper's additive ±1; "aimd" halves the limit on an abort streak
+// instead (additive-increase/multiplicative-decrease, the faster-adapting
+// variant §7 suggests exploring — see the ablation-predictor experiment).
+func (ts *tstate) onSegAbort(cfg Config, opID, split int) {
+	ts.ensureSeg(cfg, opID, split)
+	ts.commitStreak[opID][split] = 0
+	ts.abortStreak[opID][split]++
+	if int(ts.abortStreak[opID][split]) < cfg.Streak {
+		return
+	}
+	ts.abortStreak[opID][split] = 0
+	switch cfg.Predictor {
+	case PredictorAIMD:
+		ts.limits[opID][split] /= 2
+		if ts.limits[opID][split] < 1 {
+			ts.limits[opID][split] = 1
+		}
+	default:
+		if ts.limits[opID][split] > 1 {
+			ts.limits[opID][split]--
+		}
+	}
+}
+
+// avgLimit reports the average current limit across all known segments of
+// the thread (Figure 4's "average split length").
+func (ts *tstate) avgLimit() float64 {
+	var sum, n int64
+	for _, row := range ts.limits {
+		for _, l := range row {
+			sum += int64(l)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}

@@ -1,0 +1,388 @@
+package core
+
+// The StackTrack operation runner: executes an operation's basic blocks as
+// a series of hardware-transaction segments (Algorithm 2), falling back to
+// the software slow path when a single-block segment keeps failing (§5.4),
+// and interleaving SCAN_AND_FREE chunks when the free set fills mid-
+// operation.
+//
+// Segment abort/restart works exactly like hardware: the runner snapshots
+// the register file, stack pointer, and program counter at segment start
+// (the values a real abort would restore); buffered stack writes are
+// discarded by the memory system, allocations are compensated, and
+// execution resumes from the segment's first block.
+
+import (
+	"fmt"
+
+	"stacktrack/internal/cost"
+	"stacktrack/internal/mem"
+	"stacktrack/internal/prog"
+	"stacktrack/internal/sched"
+	"stacktrack/internal/word"
+)
+
+type runnerState uint8
+
+const (
+	stIdle runnerState = iota
+	stFast
+	stSlow
+	stScan
+)
+
+// Runner executes operations for one thread under StackTrack. It
+// implements prog.Runner.
+type Runner struct {
+	st *StackTrack
+
+	op    *prog.Op
+	pc    int
+	frame sched.Frame
+	state runnerState
+
+	// Scan interleaving.
+	scan   scanner
+	resume runnerState
+	opDone bool
+
+	// Segment state (fast path).
+	inTx     bool
+	segPC    int
+	segSP    int
+	segRegs  [sched.NumRegs]uint64
+	steps    int
+	limit    int
+	splitIdx int
+	segFails int
+	usedSlow bool
+
+	// Nodes retired inside the current segment; they enter the free set
+	// only after the segment (and thus the unlink) commits.
+	retirePending []word.Addr
+}
+
+// NewRunner creates a StackTrack runner bound to framework st.
+func NewRunner(st *StackTrack) *Runner { return &Runner{st: st} }
+
+// Busy implements prog.Runner.
+func (r *Runner) Busy() bool { return r.state != stIdle }
+
+// Start implements prog.Runner: SPLIT_INIT plus activity registration.
+func (r *Runner) Start(t *sched.Thread, op *prog.Op) {
+	if r.state != stIdle {
+		panic("core: Start while an operation is in progress")
+	}
+	st := r.st
+	st.state(t).runner = r
+	st.BeginOp(t, op.ID)
+	t.Trace(sched.TraceOpStart, uint64(op.ID))
+
+	r.op = op
+	r.pc = 0
+	r.frame = t.PushFrame(op.FrameWords)
+	r.splitIdx = 0
+	r.segFails = 0
+	r.usedSlow = false
+	r.opDone = false
+	r.inTx = false
+
+	// SPLIT_INIT: reset the in-memory split counter and fence so the
+	// counter write is ordered before any segment commit (Alg. 2).
+	t.StorePlain(t.SplitsAddr(), 0)
+	t.Fence()
+
+	if st.cfg.ForceSlowPct > 0 && t.Rng.Intn(100) < st.cfg.ForceSlowPct {
+		// Figure 5 experiment: force this operation onto the slow path.
+		r.usedSlow = true
+		st.slowBegin(t)
+		r.state = stSlow
+		return
+	}
+	r.state = stFast
+}
+
+// Step implements prog.Runner.
+func (r *Runner) Step(t *sched.Thread) bool {
+	switch r.state {
+	case stScan:
+		if r.scan.step(t) {
+			r.scan = nil
+			if r.opDone {
+				return r.finishOp(t)
+			}
+			r.state = r.resume
+		}
+		return false
+	case stSlow:
+		return r.stepSlow(t)
+	case stFast:
+		return r.stepFast(t)
+	default:
+		panic("core: Step without an operation in progress")
+	}
+}
+
+// --- Fast path --------------------------------------------------------------
+
+func (r *Runner) stepFast(t *sched.Thread) bool {
+	if r.op.Unsupported(r.pc) {
+		return r.stepUnsupported(t)
+	}
+	if !r.inTx {
+		r.splitStart(t)
+	}
+	finished, abort := r.fastWork(t)
+	if abort != mem.NoAbort {
+		r.handleAbort(t, abort)
+		return false
+	}
+	return finished
+}
+
+// stepUnsupported handles a block that cannot run transactionally (§5.4):
+// commit the current segment, execute the block non-transactionally, and
+// let the next step open a fresh segment.
+func (r *Runner) stepUnsupported(t *sched.Thread) bool {
+	if r.inTx {
+		if abort := r.guardedCommit(t, false); abort != mem.NoAbort {
+			r.handleAbort(t, abort)
+			return false
+		}
+	}
+	t.Charge(cost.Block)
+	r.pc = r.op.Blocks[r.pc](t, r.frame)
+	if r.pc == prog.Done {
+		if r.st.NeedScan(t) {
+			r.beginScan(t, stFast)
+			r.opDone = true
+			return false
+		}
+		return r.finishOp(t)
+	}
+	if r.st.NeedScan(t) {
+		r.beginScan(t, stFast)
+	}
+	return false
+}
+
+// guardedCommit attempts a segment commit (with register/counter expose
+// unless final) outside fastWork's recovery scope.
+func (r *Runner) guardedCommit(t *sched.Thread, final bool) (abort mem.AbortReason) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			ae, ok := rec.(sched.AbortError)
+			if !ok {
+				panic(rec)
+			}
+			abort = ae.Reason
+		}
+	}()
+	return r.commitSegment(t, final)
+}
+
+// commitSegment performs SPLIT_COMMIT; the caller handles abort recovery.
+func (r *Runner) commitSegment(t *sched.Thread, final bool) mem.AbortReason {
+	if !final {
+		t.ExposeRegisters()
+		t.Store(t.SplitsAddr(), uint64(r.splitIdx+1))
+	}
+	if reason := t.M.Commit(t.Tx); reason != mem.NoAbort {
+		return reason
+	}
+	t.Charge(cost.TxCommit)
+	r.afterCommit(t)
+	return mem.NoAbort
+}
+
+// splitStart begins a segment: SPLIT_START of Algorithm 2.
+func (r *Runner) splitStart(t *sched.Thread) {
+	ts := r.st.state(t)
+	r.steps = 0
+	r.limit = ts.segLimit(r.st.cfg, r.op.ID, r.splitIdx)
+	t.Tx = t.M.Begin(t.ID)
+	t.Mode = sched.ModeFast
+	t.Charge(cost.TxBegin)
+	r.inTx = true
+	r.segPC = r.pc
+	r.segSP = t.SP()
+	r.segRegs = t.RegSnapshot()
+}
+
+// fastWork runs one basic block and, when a checkpoint fires, the segment
+// commit. Any transactional abort surfaces as the returned reason.
+func (r *Runner) fastWork(t *sched.Thread) (finished bool, abort mem.AbortReason) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			ae, ok := rec.(sched.AbortError)
+			if !ok {
+				panic(rec)
+			}
+			finished = false
+			abort = ae.Reason
+		}
+	}()
+
+	// One basic block, plus the SPLIT_CHECKPOINT bookkeeping the compiler
+	// injected at its start.
+	cur := r.pc
+	t.Charge(cost.Block + cost.Checkpoint)
+	r.pc = r.op.Blocks[r.pc](t, r.frame)
+	r.steps++
+
+	// SPLIT_CHECKPOINT policy. Programmer-defined transactional regions
+	// (§5.5) constrain it: never commit between two atomic blocks; always
+	// commit on a region boundary, so the region starts on a fresh
+	// segment and its registers are exposed when it ends.
+	final := r.pc == prog.Done
+	curAtomic := r.op.Atomic(cur)
+	nextAtomic := !final && r.op.Atomic(r.pc)
+	var needCommit bool
+	switch {
+	case final:
+		needCommit = true
+	case curAtomic && nextAtomic:
+		needCommit = false
+	case curAtomic != nextAtomic:
+		needCommit = true
+	default:
+		needCommit = r.steps >= r.limit || len(r.retirePending) > 0
+	}
+	if !needCommit {
+		return false, mem.NoAbort
+	}
+
+	// SPLIT_COMMIT (the register expose is skipped on the final commit,
+	// as the paper permits).
+	if reason := r.commitSegment(t, final); reason != mem.NoAbort {
+		return false, reason
+	}
+
+	if final {
+		if r.st.NeedScan(t) {
+			r.beginScan(t, stFast)
+			r.opDone = true
+			return false, mem.NoAbort
+		}
+		return r.finishOp(t), mem.NoAbort
+	}
+	if r.st.NeedScan(t) {
+		r.beginScan(t, stFast)
+	}
+	return false, mem.NoAbort
+}
+
+// afterCommit performs the post-commit bookkeeping: predictor update,
+// statistics, retire flushing.
+func (r *Runner) afterCommit(t *sched.Thread) {
+	ts := r.st.state(t)
+	t.Mode = sched.ModePlain
+	t.Tx = nil
+	r.inTx = false
+	t.ClearTxAllocs()
+
+	ts.onSegCommit(r.st.cfg, r.op.ID, r.splitIdx)
+	ts.stats.Segments++
+	ts.stats.SegmentBlocks += uint64(r.steps)
+	ts.stats.SegLenHist[HistBucket(r.steps)]++
+	t.Trace(sched.TraceSegCommit, uint64(r.steps))
+	r.splitIdx++
+	r.segFails = 0
+
+	// The unlinks are durable now; the retired nodes may enter the free
+	// set (FREE of Algorithm 1).
+	for _, p := range r.retirePending {
+		ts.freeSet = append(ts.freeSet, p)
+	}
+	r.retirePending = r.retirePending[:0]
+}
+
+// handleAbort restores the segment-start state and applies the predictor's
+// MANAGE_SPLIT_ABORT policy, falling back to the slow path when a one-block
+// segment keeps failing.
+func (r *Runner) handleAbort(t *sched.Thread, reason mem.AbortReason) {
+	t.M.FinishAbort(t.Tx)
+	t.Charge(cost.TxAbort)
+	t.Mode = sched.ModePlain
+	t.Tx = nil
+	r.inTx = false
+	t.RollbackTxAllocs()
+	r.retirePending = r.retirePending[:0]
+
+	t.RestoreRegs(r.segRegs)
+	t.SetSP(r.segSP)
+	r.pc = r.segPC
+	t.Trace(sched.TraceSegAbort, uint64(reason))
+
+	ts := r.st.state(t)
+	ts.onSegAbort(r.st.cfg, r.op.ID, r.splitIdx)
+	if ts.segLimit(r.st.cfg, r.op.ID, r.splitIdx) == 1 {
+		r.segFails++
+		if r.segFails >= r.st.cfg.SlowFailThreshold {
+			// The hardware cannot execute even a single block: jump
+			// to the matching slow-path checkpoint (§5.4).
+			r.usedSlow = true
+			r.st.slowBegin(t)
+			r.state = stSlow
+			r.segFails = 0
+			t.Trace(sched.TraceSlowPath, uint64(r.pc))
+		}
+	} else {
+		r.segFails = 0
+	}
+}
+
+// --- Slow path --------------------------------------------------------------
+
+func (r *Runner) stepSlow(t *sched.Thread) bool {
+	t.Charge(cost.Block)
+	r.pc = r.op.Blocks[r.pc](t, r.frame)
+
+	if r.pc == prog.Done {
+		if r.st.NeedScan(t) {
+			r.beginScan(t, stSlow)
+			r.opDone = true
+			return false
+		}
+		return r.finishOp(t)
+	}
+	if r.st.NeedScan(t) {
+		r.beginScan(t, stSlow)
+	}
+	return false
+}
+
+// --- Shared -----------------------------------------------------------------
+
+func (r *Runner) beginScan(t *sched.Thread, resume runnerState) {
+	r.scan = r.st.startScan(t)
+	r.resume = resume
+	r.state = stScan
+}
+
+func (r *Runner) finishOp(t *sched.Thread) bool {
+	ts := r.st.state(t)
+	if r.usedSlow {
+		ts.stats.OpsSlow++
+	} else {
+		ts.stats.OpsFast++
+	}
+	if t.Mode == sched.ModeSlow {
+		r.st.slowCommit(t)
+	}
+	t.PopFrame(r.frame)
+	r.st.EndOp(t)
+	t.Trace(sched.TraceOpEnd, t.Reg(prog.RegResult))
+	r.op = nil
+	r.state = stIdle
+	return true
+}
+
+// retireInTx is called by the scheme when a retire arrives inside an active
+// segment: the node is parked until the segment (with its unlink) commits.
+func (r *Runner) retireInTx(p word.Addr) {
+	if !r.inTx {
+		panic(fmt.Sprintf("core: retireInTx outside a transaction (%#x)", uint64(p)))
+	}
+	r.retirePending = append(r.retirePending, p)
+}

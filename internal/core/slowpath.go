@@ -1,0 +1,92 @@
+package core
+
+// The software-only slow path (§5.4, Algorithm 5): a non-transactional
+// extension of hazard pointers in which *every* shared read and write is
+// instrumented. SLOW_READ loads the value, appends it to the thread's
+// reference set, fences, and re-reads the location to validate that the
+// reference became visible before use; SLOW_WRITE is a SLOW_READ followed
+// by the store; SLOW_COMMIT resets the reference set at operation end.
+//
+// A global slow-path counter tells reclaiming threads whether any thread is
+// on the slow path; if so, scans also inspect reference sets.
+
+import (
+	"stacktrack/internal/cost"
+	"stacktrack/internal/sched"
+	"stacktrack/internal/word"
+)
+
+// slowAccessor implements sched.SlowAccessor for StackTrack.
+type slowAccessor struct {
+	st *StackTrack
+}
+
+// SlowRead implements SLOW_READ: load, publish into the reference set,
+// fence, revalidate. A failed validation (the location changed while we
+// were publishing) withdraws the reference and retries; a retry implies
+// another thread made progress, so the loop is lock-free.
+func (sa slowAccessor) SlowRead(t *sched.Thread, a word.Addr) uint64 {
+	st := sa.st
+	ts := st.state(t)
+	for {
+		v := t.LoadPlain(a)
+		sa.push(t, ts, v)
+		t.Fence()
+		if t.LoadPlain(a) == v {
+			return v
+		}
+		sa.pop(t, ts)
+	}
+}
+
+// SlowWrite implements SLOW_WRITE: record the location's current content in
+// the reference set, then store.
+func (sa slowAccessor) SlowWrite(t *sched.Thread, a word.Addr, v uint64) {
+	sa.SlowRead(t, a)
+	t.StorePlain(a, v)
+}
+
+// SlowCAS performs the data structures' compare-and-swap on the slow path:
+// the protection of SLOW_READ followed by a plain CAS.
+func (sa slowAccessor) SlowCAS(t *sched.Thread, a word.Addr, old, new uint64) bool {
+	sa.SlowRead(t, a)
+	return t.CASDirect(a, old, new)
+}
+
+// push appends v to the thread's reference set in simulated memory so
+// scanning threads can see it.
+func (sa slowAccessor) push(t *sched.Thread, ts *tstate, v uint64) {
+	if ts.refsLen >= sched.RefsWords {
+		panic("core: slow-path reference set overflow; raise sched.RefsWords")
+	}
+	t.StorePlain(t.RefsBase+word.Addr(ts.refsLen), v)
+	ts.refsLen++
+	t.StorePlain(t.RefsLenAddr(), uint64(ts.refsLen))
+}
+
+// pop withdraws the most recently pushed reference (failed validation).
+func (sa slowAccessor) pop(t *sched.Thread, ts *tstate) {
+	ts.refsLen--
+	t.StorePlain(t.RefsLenAddr(), uint64(ts.refsLen))
+}
+
+// slowBegin moves thread t onto the slow path: bump the global slow-path
+// counter (an atomic increment in the paper) and switch the access mode.
+func (st *StackTrack) slowBegin(t *sched.Thread) {
+	st.slowCount++
+	t.Charge(cost.AtomicAdd)
+	t.Slow = slowAccessor{st: st}
+	t.Mode = sched.ModeSlow
+}
+
+// slowCommit implements SLOW_COMMIT: clear the reference set and leave the
+// slow path.
+func (st *StackTrack) slowCommit(t *sched.Thread) {
+	ts := st.state(t)
+	ts.refsLen = 0
+	t.StorePlain(t.RefsLenAddr(), 0)
+	t.Fence()
+	st.slowCount--
+	t.Charge(cost.AtomicAdd)
+	t.Mode = sched.ModePlain
+}

@@ -1,0 +1,47 @@
+// Package ds implements the lock-free data structures the paper evaluates —
+// Harris's linked list, a Fraser–Harris skip list, the Michael–Scott queue,
+// and a hash table of Harris lists — plus the red-black-tree search used as
+// the paper's instrumentation example (Algorithm 3).
+//
+// Every operation is expressed as basic code blocks (internal/prog), the
+// form StackTrack's compiler pass produces: pointer-valued locals live in
+// the operation's stack frame, protection points go through
+// Thread.ProtectLoad so one implementation serves every reclamation scheme,
+// and unlinked nodes are handed to Thread.Retire by the thread whose CAS
+// made them unreachable.
+//
+// Convention: after t.Retire(p) the operation never touches p again, and
+// exactly one thread retires a given node (the one whose unlink CAS
+// succeeded) — the standard preconditions of concurrent reclamation (§2).
+package ds
+
+import (
+	"stacktrack/internal/sched"
+	"stacktrack/internal/word"
+)
+
+// Op identifiers shared by the set-like structures (list, skip list, hash).
+const (
+	OpContains = 0
+	OpInsert   = 1
+	OpDelete   = 2
+)
+
+// Queue operation identifiers.
+const (
+	OpEnqueue = 0
+	OpDequeue = 1
+	OpPeek    = 2
+)
+
+// boolWord converts a condition to the 0/1 result convention of R0.
+func boolWord(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// retireNode hands p to the current scheme. A tiny indirection so the
+// block code reads like the pseudocode.
+func retireNode(t *sched.Thread, p word.Addr) { t.Retire(p) }

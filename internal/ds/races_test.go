@@ -1,0 +1,245 @@
+package ds_test
+
+// Choreographed interleavings: two runners stepped by hand to drive the
+// algorithms through their interesting races deterministically (something
+// native threads can only hit probabilistically).
+
+import (
+	"testing"
+
+	"stacktrack/internal/ds"
+	"stacktrack/internal/prog"
+	"stacktrack/internal/reclaim"
+	"stacktrack/internal/sched"
+)
+
+// stepped starts op on th and returns a step function that advances it one
+// block, reporting completion.
+func stepped(th *sched.Thread, op *prog.Op, args ...uint64) func() bool {
+	var a [3]uint64
+	copy(a[:], args)
+	th.SetReg(prog.RegArg1, a[0])
+	th.SetReg(prog.RegArg2, a[1])
+	th.SetReg(prog.RegArg3, a[2])
+	r := &prog.PlainRunner{}
+	r.Start(th, op)
+	return func() bool { return r.Step(th) }
+}
+
+func finish(t *testing.T, step func() bool) {
+	t.Helper()
+	for i := 0; ; i++ {
+		if i > 1_000_000 {
+			t.Fatal("operation did not terminate")
+		}
+		if step() {
+			return
+		}
+	}
+}
+
+// TestListHelperUnlinksMarkedNode: thread A marks a node for deletion, then
+// stalls; thread B's traversal physically unlinks it (helping) and retires
+// it; A's own unlink CAS must fail without a second retire.
+func TestListHelperUnlinksMarkedNode(t *testing.T) {
+	f := newFixture(t, 2)
+	l := ds.NewList(f.al)
+	l.Seed(f.al, f.m, []uint64{10, 20, 30}, 1)
+	a, b := f.ts[0], f.ts[1]
+
+	// A deletes 20 but is paused right after the mark (the delete's
+	// lbMark block). Delete blocks: search(4 blocks/iter)... step until
+	// the node is marked, then stop.
+	del := stepped(a, l.OpDelete, 20)
+	marked := func() bool {
+		// Walk reports only unmarked keys.
+		for _, k := range ds.Walk(f.m, l.Head(), 100) {
+			if k == 20 {
+				return false
+			}
+		}
+		return true
+	}
+	steps := 0
+	for !marked() {
+		if del() {
+			t.Fatal("delete finished before we observed the mark")
+		}
+		if steps++; steps > 1000 {
+			t.Fatal("mark never observed")
+		}
+	}
+
+	// B's contains(30) traverses past the marked node and must help
+	// unlink it, retiring it exactly once.
+	finish(t, stepped(b, l.OpContains, 30))
+	scheme := f.ts[0].Scheme.(*reclaim.Leak)
+	if scheme.Leaked != 1 {
+		t.Fatalf("helper retired %d times, want exactly 1", scheme.Leaked)
+	}
+
+	// A resumes: its unlink CAS fails benignly; the delete still
+	// reports success (it owns the mark).
+	finish(t, del)
+	if a.Reg(prog.RegResult) != 1 {
+		t.Fatal("marking deleter must report success")
+	}
+	if scheme.Leaked != 1 {
+		t.Fatalf("node retired %d times after deleter resumed", scheme.Leaked)
+	}
+}
+
+// TestListConcurrentInsertsSameSpot: two inserts targeting the same gap;
+// the loser must retry and land correctly.
+func TestListConcurrentInsertsSameSpot(t *testing.T) {
+	f := newFixture(t, 2)
+	l := ds.NewList(f.al)
+	l.Seed(f.al, f.m, []uint64{10, 40}, 1)
+	a, b := f.ts[0], f.ts[1]
+
+	insA := stepped(a, l.OpInsert, 20)
+	insB := stepped(b, l.OpInsert, 30)
+	// Interleave one block at a time until both complete.
+	doneA, doneB := false, false
+	for i := 0; !(doneA && doneB); i++ {
+		if !doneA {
+			doneA = insA()
+		}
+		if !doneB {
+			doneB = insB()
+		}
+		if i > 10000 {
+			t.Fatal("inserts did not terminate")
+		}
+	}
+	if a.Reg(prog.RegResult) != 1 || b.Reg(prog.RegResult) != 1 {
+		t.Fatal("both inserts should succeed")
+	}
+	keys := ds.Walk(f.m, l.Head(), 100)
+	want := []uint64{10, 20, 30, 40}
+	if len(keys) != len(want) {
+		t.Fatalf("keys = %v, want %v", keys, want)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("keys = %v, want %v", keys, want)
+		}
+	}
+}
+
+// TestListInsertDeleteRace: an insert racing a delete of its predecessor
+// must either land or retry — never vanish.
+func TestListInsertDeleteRace(t *testing.T) {
+	f := newFixture(t, 2)
+	l := ds.NewList(f.al)
+	l.Seed(f.al, f.m, []uint64{10, 20, 30}, 1)
+	a, b := f.ts[0], f.ts[1]
+
+	// A inserts 25 (predecessor will be 20); B deletes 20 concurrently.
+	insA := stepped(a, l.OpInsert, 25)
+	delB := stepped(b, l.OpDelete, 20)
+	doneA, doneB := false, false
+	for i := 0; !(doneA && doneB); i++ {
+		if !doneA {
+			doneA = insA()
+		}
+		if !doneB {
+			doneB = delB()
+		}
+		if i > 10000 {
+			t.Fatal("race did not terminate")
+		}
+	}
+	if a.Reg(prog.RegResult) != 1 || b.Reg(prog.RegResult) != 1 {
+		t.Fatalf("insert=%d delete=%d, want both successful", a.Reg(prog.RegResult), b.Reg(prog.RegResult))
+	}
+	keys := ds.Walk(f.m, l.Head(), 100)
+	want := []uint64{10, 25, 30}
+	if len(keys) != len(want) {
+		t.Fatalf("keys = %v, want %v", keys, want)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("keys = %v, want %v", keys, want)
+		}
+	}
+}
+
+// TestQueueHelpsLaggingTail: an enqueuer that linked its node but has not
+// yet swung the tail leaves the queue in the "lagging tail" state; a second
+// enqueuer must help before appending.
+func TestQueueHelpsLaggingTail(t *testing.T) {
+	f := newFixture(t, 2)
+	q := ds.NewQueue(f.al)
+	a, b := f.ts[0], f.ts[1]
+
+	// Step A's enqueue until its node is linked (drain sees it) but do
+	// not let it finish the tail swing... the MS enqueue does both CASes
+	// in one block, so emulate the lag directly instead: enqueue, then
+	// rewind the tail pointer to the dummy.
+	finish(t, stepped(a, q.OpEnqueue, 111))
+	head := f.m.Peek(q.Head())
+	f.m.Poke(q.Tail(), head) // tail now lags behind the real last node
+
+	finish(t, stepped(b, q.OpEnqueue, 222))
+	vals := q.Drain(f.m, 100)
+	if len(vals) != 2 || vals[0] != 111 || vals[1] != 222 {
+		t.Fatalf("drain = %v, want [111 222]", vals)
+	}
+}
+
+// TestSkipListDeleteInsertSameKey: deleting a key while re-inserting it
+// must converge with the key either present or absent — and the structure
+// sane.
+func TestSkipListDeleteInsertSameKey(t *testing.T) {
+	f := newFixture(t, 2)
+	s := ds.NewSkipList(f.al)
+	s.Seed(f.al, f.m, []uint64{10, 20, 30}, 1, 77)
+	a, b := f.ts[0], f.ts[1]
+
+	del := stepped(a, s.OpDelete, 20)
+	ins := stepped(b, s.OpInsert, 20)
+	doneA, doneB := false, false
+	for i := 0; !(doneA && doneB); i++ {
+		if !doneA {
+			doneA = del()
+		}
+		if !doneB {
+			doneB = ins()
+		}
+		if i > 100000 {
+			t.Fatal("no convergence")
+		}
+	}
+	keys := s.WalkLevel(f.m, 0, 100)
+	has20 := false
+	for i, k := range keys {
+		if k == 20 {
+			has20 = true
+		}
+		if i > 0 && keys[i-1] >= k {
+			t.Fatalf("level 0 unsorted: %v", keys)
+		}
+	}
+	delOK := a.Reg(prog.RegResult) != 0
+	insOK := b.Reg(prog.RegResult) != 0
+	// Linearizable outcomes: presence must match the op order implied by
+	// the results (insert after delete -> present; delete after insert ->
+	// absent; a failed op constrains the other).
+	switch {
+	case delOK && insOK:
+		// Either order is possible; presence just has to be consistent
+		// with one of them — both orders are observable, so any has20 is
+		// fine.
+	case delOK && !insOK:
+		if has20 {
+			t.Fatal("insert failed (key present) but delete later removed... key still present?")
+		}
+	case !delOK && insOK:
+		if !has20 {
+			t.Fatal("delete failed yet the inserted key is gone")
+		}
+	default:
+		t.Fatal("both operations failed; one must succeed")
+	}
+}

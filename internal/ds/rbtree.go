@@ -1,0 +1,114 @@
+package ds
+
+// The red-black tree search of the paper's Algorithm 3 — its running
+// example for split instrumentation, chosen because tree search generates
+// short basic blocks. The tree is built at setup time and searched
+// concurrently; each comparison/branch is its own basic block, exactly
+// matching the SPLIT_CHECKPOINT placement in the paper's listing.
+
+import (
+	"stacktrack/internal/alloc"
+	"stacktrack/internal/mem"
+	"stacktrack/internal/prog"
+	"stacktrack/internal/sched"
+	"stacktrack/internal/word"
+)
+
+// Tree node layout.
+const (
+	rbOffKey   = 0
+	rbOffVal   = 1
+	rbOffLeft  = 2
+	rbOffRight = 3
+	rbOffColor = 4
+	rbNodeLen  = 5
+)
+
+const (
+	rbBlack = 0
+	rbRed   = 1
+)
+
+// Frame slot.
+const (
+	rbNode       = 0
+	rbFrameWords = 1
+)
+
+// RBTree is a red-black tree supporting concurrent (read-only) search in
+// simulated execution; mutation happens at setup time.
+type RBTree struct {
+	root word.Addr // static word holding the root node pointer
+
+	OpSearch *prog.Op
+}
+
+// NewRBTree allocates the root word and compiles the search operation.
+func NewRBTree(a *alloc.Allocator) *RBTree {
+	r := &RBTree{root: a.Static(1)}
+	r.OpSearch = r.buildSearch()
+	return r
+}
+
+// buildSearch compiles Algorithm 3: one basic block per branch, result in
+// R0 (the node's value, or 0 if absent).
+func (r *RBTree) buildSearch() *prog.Op {
+	b := prog.NewBuilder()
+	lbLoop := b.Label()
+	lbCmp := b.Label()
+
+	b.Add(func(t *sched.Thread, f sched.Frame) int {
+		f.Set(rbNode, t.Load(r.root))
+		return *lbLoop
+	})
+
+	b.Bind(lbLoop)
+	b.Add(func(t *sched.Thread, f sched.Frame) int {
+		if f.GetPtr(rbNode) == word.Null {
+			t.SetReg(prog.RegResult, 0)
+			return prog.Done
+		}
+		return *lbCmp
+	})
+
+	b.Bind(lbCmp)
+	b.Add(func(t *sched.Thread, f sched.Frame) int {
+		node := f.GetPtr(rbNode)
+		k := t.Load(node + rbOffKey)
+		key := t.Reg(prog.RegArg1)
+		switch {
+		case k == key:
+			t.SetReg(prog.RegResult, t.Load(node+rbOffVal))
+			return prog.Done
+		case key < k:
+			f.Set(rbNode, t.Load(node+rbOffLeft))
+		default:
+			f.Set(rbNode, t.Load(node+rbOffRight))
+		}
+		return *lbLoop
+	})
+	return b.Build(0, "rbtree.Search", rbFrameWords)
+}
+
+// --- Setup (host-side) -------------------------------------------------------
+
+// Seed builds a balanced tree over the sorted keys at setup time; node i
+// gets value keys[i]+1 so a successful search returns non-zero.
+func (r *RBTree) Seed(a *alloc.Allocator, m *mem.Memory, keys []uint64) {
+	m.Poke(r.root, uint64(r.build(a, m, keys, rbBlack)))
+}
+
+func (r *RBTree) build(a *alloc.Allocator, m *mem.Memory, keys []uint64, color uint64) word.Addr {
+	if len(keys) == 0 {
+		return word.Null
+	}
+	mid := len(keys) / 2
+	n := a.Alloc(0, rbNodeLen)
+	m.Poke(n+rbOffKey, keys[mid])
+	m.Poke(n+rbOffVal, keys[mid]+1)
+	m.Poke(n+rbOffColor, color)
+	child := rbRed ^ color
+	m.Poke(n+rbOffLeft, uint64(r.build(a, m, keys[:mid], child)))
+	m.Poke(n+rbOffRight, uint64(r.build(a, m, keys[mid+1:], child)))
+	return n
+}

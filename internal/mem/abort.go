@@ -1,0 +1,56 @@
+package mem
+
+// AbortReason classifies why a hardware transaction aborted, mirroring the
+// TSX abort status word the paper's implementation inspects.
+type AbortReason uint8
+
+const (
+	// NoAbort means the transaction has not aborted.
+	NoAbort AbortReason = iota
+	// Conflict is a data conflict: another thread (transactional or not)
+	// accessed a line in this transaction's data set incompatibly.
+	Conflict
+	// Capacity means the transaction's data set overflowed the cache, or
+	// sibling-hyperthread pressure evicted a tracked line.
+	Capacity
+	// Preempt is a timer interrupt / context switch clearing the cache.
+	Preempt
+	// Explicit is a programmatic abort (XABORT).
+	Explicit
+	// Unsupported is an instruction that cannot execute transactionally.
+	Unsupported
+)
+
+// String returns the reason's name.
+func (r AbortReason) String() string {
+	switch r {
+	case NoAbort:
+		return "none"
+	case Conflict:
+		return "conflict"
+	case Capacity:
+		return "capacity"
+	case Preempt:
+		return "preempt"
+	case Explicit:
+		return "explicit"
+	case Unsupported:
+		return "unsupported"
+	default:
+		return "unknown"
+	}
+}
+
+// TxState is the lifecycle state of a transaction descriptor.
+type TxState uint8
+
+const (
+	// TxIdle means the descriptor is not in use.
+	TxIdle TxState = iota
+	// TxActive means the transaction is running speculatively.
+	TxActive
+	// TxDoomed means a conflicting access (or capacity overflow) has
+	// condemned the transaction; the owning thread observes this at its
+	// next step and unwinds.
+	TxDoomed
+)

@@ -1,0 +1,312 @@
+// Package mem implements the simulated machine's memory system: a flat
+// word-addressable memory, a cache-line conflict table, and a best-effort
+// hardware transactional memory in the style of Intel TSX.
+//
+// # Model
+//
+// Memory is an array of 64-bit words. Conflict detection happens at
+// cache-line granularity (word.LineWords words per line). Each line has a
+// reader bitmap (one bit per thread whose active transaction has read it)
+// and at most one transactional writer.
+//
+// The machine is driven by a single-threaded discrete-event scheduler
+// (internal/sched), so this package uses no host-level synchronization:
+// simulated concurrency comes from the scheduler interleaving simulated
+// threads between memory accesses. Every access is therefore atomic at the
+// simulation level, which matches the word-atomicity of real hardware.
+//
+// # Transactional semantics
+//
+//   - Writes inside a transaction are buffered and invisible until commit
+//     (lazy versioning, like a real HTM's L1 write set).
+//   - Conflicts are detected eagerly with a requester-wins policy, matching
+//     observed TSX behaviour: an access that conflicts with another
+//     transaction's data set dooms that transaction immediately. The victim
+//     observes its doom at its next access or block boundary.
+//   - Strong isolation: plain (non-transactional) accesses participate in
+//     conflict detection. A plain read of a line in a transaction's write
+//     set dooms the transaction; a plain write dooms writers and readers.
+//     This is the property StackTrack's scanner relies on (§5.6 of the
+//     paper).
+//   - Capacity: a transaction whose write set exceeds the L1 budget (or
+//     whose read set exceeds the read-tracking budget) self-aborts. When the
+//     sibling hyperthread of the transaction's core is active, budgets halve
+//     and a probabilistic eviction term is applied per basic block by the
+//     scheduler, reproducing the paper's hyperthreading regime.
+package mem
+
+import (
+	"fmt"
+	"math/bits"
+
+	"stacktrack/internal/topo"
+	"stacktrack/internal/word"
+)
+
+// MaxThreads is the maximum number of simulated threads, bounded by the
+// per-line reader bitmap width.
+const MaxThreads = 64
+
+// Pressure reports dynamic cache pressure for capacity decisions. The
+// scheduler implements it; tests may stub it.
+type Pressure interface {
+	// SiblingActive reports whether the sibling hardware context of the
+	// core running thread tid is currently occupied by a running thread.
+	SiblingActive(tid int) bool
+}
+
+// noPressure is the default Pressure with no hyperthread contention.
+type noPressure struct{}
+
+func (noPressure) SiblingActive(int) bool { return false }
+
+// Config parameterizes a Memory.
+type Config struct {
+	// Words is the size of the simulated memory in 64-bit words.
+	Words int
+	// Topology supplies transactional capacity budgets.
+	Topology topo.Topology
+	// Pressure supplies dynamic sibling-activity information; nil means
+	// no hyperthread pressure.
+	Pressure Pressure
+}
+
+// Memory is the simulated memory system. All methods take the simulated
+// thread id performing the access so conflicts can be attributed.
+type Memory struct {
+	words []uint64
+
+	// lineReaders[l] has bit t set iff thread t's active transaction has
+	// line l in its read set.
+	lineReaders []uint64
+	// lineWriter[l] is tid+1 of the transaction owning line l for write,
+	// or 0.
+	lineWriter []int32
+
+	// Coherence-cost model (MESI-flavoured): sharers[l] has bit t set iff
+	// thread t has read line l since its last write; lastW[l] is tid+1 of
+	// the last writer. A read by a non-sharer or a write by anyone while
+	// other caches hold the line is a coherence miss the access layer
+	// charges for.
+	sharers []uint64
+	lastW   []int32
+
+	txs      [MaxThreads]*Tx
+	liveTx   int // number of TxActive transactions (gates plain-op checks)
+	topology topo.Topology
+	pressure Pressure
+
+	stats [MaxThreads]Stats
+}
+
+// New creates a Memory. It panics if the configuration is invalid, since a
+// simulation cannot proceed without memory.
+func New(cfg Config) *Memory {
+	if cfg.Words <= 0 {
+		cfg.Words = 1 << 22
+	}
+	if cfg.Topology.Cores == 0 {
+		cfg.Topology = topo.Haswell8Way()
+	}
+	if cfg.Pressure == nil {
+		cfg.Pressure = noPressure{}
+	}
+	lines := (cfg.Words + word.LineWords - 1) / word.LineWords
+	m := &Memory{
+		words:       make([]uint64, cfg.Words),
+		lineReaders: make([]uint64, lines),
+		lineWriter:  make([]int32, lines),
+		sharers:     make([]uint64, lines),
+		lastW:       make([]int32, lines),
+		topology:    cfg.Topology,
+		pressure:    cfg.Pressure,
+	}
+	return m
+}
+
+// readTouch updates the coherence state for a read by tid and reports
+// whether it missed (line not in tid's cache).
+func (m *Memory) readTouch(tid int, l uint64) bool {
+	bit := uint64(1) << uint(tid)
+	if m.sharers[l]&bit != 0 || m.lastW[l] == int32(tid+1) {
+		return false
+	}
+	m.sharers[l] |= bit
+	m.stats[tid].CoherenceMisses++
+	return true
+}
+
+// writeTouch updates the coherence state for a write by tid and reports
+// whether acquiring ownership missed (invalidation of other caches).
+func (m *Memory) writeTouch(tid int, l uint64) bool {
+	bit := uint64(1) << uint(tid)
+	hit := m.lastW[l] == int32(tid+1) && m.sharers[l]&^bit == 0
+	m.lastW[l] = int32(tid + 1)
+	m.sharers[l] = bit
+	if !hit {
+		m.stats[tid].CoherenceMisses++
+	}
+	return !hit
+}
+
+// SetPressure installs the dynamic pressure source (the scheduler calls this
+// once threads exist).
+func (m *Memory) SetPressure(p Pressure) {
+	if p == nil {
+		p = noPressure{}
+	}
+	m.pressure = p
+}
+
+// Size returns the memory size in words.
+func (m *Memory) Size() int { return len(m.words) }
+
+// Stats returns the accumulated statistics for thread tid.
+func (m *Memory) Stats(tid int) *Stats { return &m.stats[tid] }
+
+// TotalStats sums statistics across all threads.
+func (m *Memory) TotalStats() Stats {
+	var t Stats
+	for i := range m.stats {
+		t.Add(&m.stats[i])
+	}
+	return t
+}
+
+// ResetStats zeroes all statistics (used between measurement phases).
+func (m *Memory) ResetStats() {
+	for i := range m.stats {
+		m.stats[i] = Stats{}
+	}
+}
+
+func (m *Memory) check(a word.Addr) {
+	if uint64(a) >= uint64(len(m.words)) {
+		panic(fmt.Sprintf("mem: address %#x out of range (%d words)", uint64(a), len(m.words)))
+	}
+}
+
+// ReadPlain performs a non-transactional read by thread tid. Under strong
+// isolation it dooms any transaction holding the line in its write set
+// (requester wins), then returns the committed value plus whether the read
+// was a coherence miss.
+func (m *Memory) ReadPlain(tid int, a word.Addr) (uint64, bool) {
+	m.check(a)
+	m.stats[tid].PlainReads++
+	l := word.Line(a)
+	if m.liveTx > 0 {
+		if w := m.lineWriter[l]; w != 0 && int(w-1) != tid {
+			m.doom(int(w-1), Conflict)
+		}
+	}
+	return m.words[a], m.readTouch(tid, l)
+}
+
+// WritePlain performs a non-transactional write by thread tid, dooming any
+// transactional writer and all transactional readers of the line. It
+// reports whether acquiring the line missed.
+func (m *Memory) WritePlain(tid int, a word.Addr, v uint64) bool {
+	m.check(a)
+	m.stats[tid].PlainWrites++
+	l := word.Line(a)
+	if m.liveTx > 0 {
+		m.doomLineConflicts(tid, l)
+	}
+	m.words[a] = v
+	return m.writeTouch(tid, l)
+}
+
+// CASPlain performs a non-transactional compare-and-swap by thread tid and
+// reports whether the swap happened and whether the access missed.
+// Conflicting transactions are doomed regardless of the outcome (the cache
+// line is acquired for write either way).
+func (m *Memory) CASPlain(tid int, a word.Addr, old, new uint64) (ok, miss bool) {
+	m.check(a)
+	m.stats[tid].PlainReads++
+	m.stats[tid].PlainWrites++
+	l := word.Line(a)
+	if m.liveTx > 0 {
+		m.doomLineConflicts(tid, l)
+	}
+	miss = m.writeTouch(tid, l)
+	if m.words[a] != old {
+		return false, miss
+	}
+	m.words[a] = new
+	return true, miss
+}
+
+// AddPlain performs a non-transactional fetch-and-add, returning the new
+// value and whether the access missed.
+func (m *Memory) AddPlain(tid int, a word.Addr, delta uint64) (uint64, bool) {
+	m.check(a)
+	m.stats[tid].PlainReads++
+	m.stats[tid].PlainWrites++
+	l := word.Line(a)
+	if m.liveTx > 0 {
+		m.doomLineConflicts(tid, l)
+	}
+	m.words[a] += delta
+	return m.words[a], m.writeTouch(tid, l)
+}
+
+// Peek reads a word without participating in conflict detection or
+// statistics. It is intended for assertions, debugging, and the allocator's
+// internal metadata walks — never for simulated program logic.
+func (m *Memory) Peek(a word.Addr) uint64 {
+	m.check(a)
+	return m.words[a]
+}
+
+// Poke writes a word without conflict detection (initialization only).
+func (m *Memory) Poke(a word.Addr, v uint64) {
+	m.check(a)
+	m.words[a] = v
+}
+
+// doomLineConflicts dooms every transaction (other than tid's) with line l
+// in its data set, as a write-acquisition by tid would on real hardware.
+func (m *Memory) doomLineConflicts(tid int, l uint64) {
+	if w := m.lineWriter[l]; w != 0 && int(w-1) != tid {
+		m.doom(int(w-1), Conflict)
+	}
+	if r := m.lineReaders[l]; r != 0 {
+		self := uint64(1) << uint(tid)
+		r &^= self
+		for r != 0 {
+			t := bits.TrailingZeros64(r)
+			r &^= 1 << uint(t)
+			m.doom(t, Conflict)
+		}
+	}
+}
+
+// doom condemns thread victim's active transaction with the given reason,
+// releasing its line ownership immediately (its buffered writes were never
+// visible). The victim unwinds at its next step.
+func (m *Memory) doom(victim int, reason AbortReason) {
+	tx := m.txs[victim]
+	if tx == nil || tx.state != TxActive {
+		return
+	}
+	tx.state = TxDoomed
+	tx.reason = reason
+	m.releaseLines(tx)
+	m.liveTx--
+}
+
+// releaseLines clears the line table entries owned by tx.
+func (m *Memory) releaseLines(tx *Tx) {
+	bit := ^(uint64(1) << uint(tx.tid))
+	for _, l := range tx.readLines {
+		m.lineReaders[l] &= bit
+	}
+	owner := int32(tx.tid + 1)
+	for _, l := range tx.writeLines {
+		if m.lineWriter[l] == owner {
+			m.lineWriter[l] = 0
+		}
+	}
+	tx.readLines = tx.readLines[:0]
+	tx.writeLines = tx.writeLines[:0]
+}

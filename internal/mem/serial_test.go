@@ -1,0 +1,127 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"stacktrack/internal/rng"
+	"stacktrack/internal/word"
+)
+
+// TestSerializabilityProperty drives random interleavings of transactional
+// and plain accesses from several threads against a sequential model:
+// a committed transaction's effects must equal applying its writes at the
+// commit point, an aborted transaction must leave no trace, and plain
+// accesses apply immediately. The model is a shadow array updated at commit
+// or plain-write time; after every step the real memory must match it.
+func TestSerializabilityProperty(t *testing.T) {
+	const (
+		nThreads = 4
+		nWords   = 256
+		steps    = 4000
+	)
+	run := func(seed uint64) bool {
+		m := New(Config{Words: nWords * 2})
+		r := rng.New(seed)
+		model := make([]uint64, nWords)
+		type shadowTx struct {
+			tx     *Tx
+			writes map[word.Addr]uint64
+		}
+		txs := make([]*shadowTx, nThreads)
+
+		for i := 0; i < steps; i++ {
+			tid := r.Intn(nThreads)
+			a := word.Addr(r.Intn(nWords))
+			switch r.Intn(10) {
+			case 0: // begin
+				if txs[tid] == nil {
+					txs[tid] = &shadowTx{tx: m.Begin(tid), writes: map[word.Addr]uint64{}}
+				}
+			case 1, 2: // tx read
+				if s := txs[tid]; s != nil {
+					v, _, reason := m.TxRead(s.tx, a)
+					if reason != NoAbort {
+						m.FinishAbort(s.tx)
+						txs[tid] = nil
+						break
+					}
+					want, buffered := s.writes[a]
+					if !buffered {
+						want = model[a]
+					}
+					if v != want {
+						t.Logf("step %d: tx read %d, model %d", i, v, want)
+						return false
+					}
+				}
+			case 3, 4: // tx write
+				if s := txs[tid]; s != nil {
+					if _, reason := m.TxWrite(s.tx, a, uint64(i)); reason != NoAbort {
+						m.FinishAbort(s.tx)
+						txs[tid] = nil
+						break
+					}
+					s.writes[a] = uint64(i)
+				}
+			case 5: // commit
+				if s := txs[tid]; s != nil {
+					if m.Commit(s.tx) == NoAbort {
+						for wa, wv := range s.writes {
+							model[wa] = wv
+						}
+					} else {
+						m.FinishAbort(s.tx)
+					}
+					txs[tid] = nil
+				}
+			case 6: // explicit abort
+				if s := txs[tid]; s != nil {
+					m.AbortTx(tid, Explicit)
+					m.FinishAbort(s.tx)
+					txs[tid] = nil
+				}
+			case 7: // plain read (dooms conflicting writers; shadow txs of
+				// doomed threads are dropped lazily when they next act)
+				v, _ := m.ReadPlain(tid, a)
+				if v != model[a] {
+					t.Logf("step %d: plain read %d, model %d", i, v, model[a])
+					return false
+				}
+			case 8: // plain write
+				m.WritePlain(tid, a, uint64(i)|1<<32)
+				model[a] = uint64(i) | 1<<32
+			case 9: // plain CAS
+				old := model[a]
+				ok, _ := m.CASPlain(tid, a, old, old+1)
+				if !ok {
+					t.Logf("step %d: CAS with model value failed", i)
+					return false
+				}
+				model[a] = old + 1
+			}
+			// Doomed transactions must never have leaked writes.
+			for td, s := range txs {
+				if s == nil {
+					continue
+				}
+				if doomed, _ := s.tx.Doomed(); doomed {
+					m.FinishAbort(s.tx)
+					txs[td] = nil
+				}
+			}
+		}
+		// Whole-memory check against the model.
+		for a := 0; a < nWords; a++ {
+			if m.Peek(word.Addr(a)) != model[a] {
+				t.Logf("final state mismatch at %d", a)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 20}
+	if err := quick.Check(run, cfg); err != nil {
+		t.Error(err)
+	}
+}

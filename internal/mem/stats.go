@@ -1,0 +1,44 @@
+package mem
+
+// Stats aggregates transactional-memory event counts for one thread. The
+// benchmark harness sums them across threads to regenerate the paper's
+// Figure 3 (abort breakdown) and Figure 4 (split behaviour).
+type Stats struct {
+	TxBegins         uint64 // transactions started (including retries)
+	Commits          uint64 // transactions committed
+	ConflictAborts   uint64 // data-conflict aborts suffered
+	CapacityAborts   uint64 // capacity / sibling-eviction aborts
+	PreemptAborts    uint64 // context-switch aborts
+	ExplicitAborts   uint64 // programmatic aborts
+	PlainReads       uint64 // non-transactional word reads
+	PlainWrites      uint64 // non-transactional word writes
+	TxReads          uint64 // transactional word reads
+	TxWrites         uint64 // transactional word writes
+	LinesRead        uint64 // distinct lines added to read sets
+	LinesWritten     uint64 // distinct lines added to write sets
+	CommittedActions uint64 // word accesses inside committed transactions
+	CoherenceMisses  uint64 // cache-to-cache transfers / invalidations
+}
+
+// Aborts returns the total number of aborts of any kind.
+func (s *Stats) Aborts() uint64 {
+	return s.ConflictAborts + s.CapacityAborts + s.PreemptAborts + s.ExplicitAborts
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o *Stats) {
+	s.TxBegins += o.TxBegins
+	s.Commits += o.Commits
+	s.ConflictAborts += o.ConflictAborts
+	s.CapacityAborts += o.CapacityAborts
+	s.PreemptAborts += o.PreemptAborts
+	s.ExplicitAborts += o.ExplicitAborts
+	s.PlainReads += o.PlainReads
+	s.PlainWrites += o.PlainWrites
+	s.TxReads += o.TxReads
+	s.TxWrites += o.TxWrites
+	s.LinesRead += o.LinesRead
+	s.LinesWritten += o.LinesWritten
+	s.CommittedActions += o.CommittedActions
+	s.CoherenceMisses += o.CoherenceMisses
+}

@@ -1,0 +1,285 @@
+package mem
+
+import (
+	"fmt"
+
+	"stacktrack/internal/word"
+)
+
+// wbSize is the write-buffer hash table size. It comfortably exceeds the
+// largest possible write set (L1Lines lines × LineWords words) so the table
+// never saturates before a capacity abort fires.
+const wbSize = 1 << 14
+
+type wbEntry struct {
+	addr  word.Addr
+	val   uint64
+	stamp uint64
+}
+
+// writeBuf is the transaction's speculative store buffer: an open-addressing
+// hash table stamped per transaction so reset is O(1), plus an insertion-
+// order list for commit write-back.
+type writeBuf struct {
+	tab   []wbEntry
+	order []word.Addr
+	stamp uint64
+}
+
+func newWriteBuf() *writeBuf {
+	return &writeBuf{tab: make([]wbEntry, wbSize), order: make([]word.Addr, 0, 256)}
+}
+
+func (b *writeBuf) reset() {
+	b.stamp++
+	b.order = b.order[:0]
+}
+
+func (b *writeBuf) slot(a word.Addr) int {
+	h := uint64(a) * 0x9E3779B97F4A7C15
+	i := int(h >> (64 - 14))
+	for {
+		e := &b.tab[i]
+		if e.stamp != b.stamp || e.addr == a {
+			return i
+		}
+		i = (i + 1) & (wbSize - 1)
+	}
+}
+
+// get returns the buffered value for a, if any.
+func (b *writeBuf) get(a word.Addr) (uint64, bool) {
+	e := &b.tab[b.slot(a)]
+	if e.stamp == b.stamp && e.addr == a {
+		return e.val, true
+	}
+	return 0, false
+}
+
+// put records a speculative store. It reports false if the buffer is full
+// (treated as a capacity overflow by the caller).
+func (b *writeBuf) put(a word.Addr, v uint64) bool {
+	if len(b.order) >= wbSize/2 {
+		return false
+	}
+	e := &b.tab[b.slot(a)]
+	if e.stamp == b.stamp && e.addr == a {
+		e.val = v
+		return true
+	}
+	*e = wbEntry{addr: a, val: v, stamp: b.stamp}
+	b.order = append(b.order, a)
+	return true
+}
+
+// Tx is a hardware-transaction descriptor. A thread owns at most one at a
+// time. Descriptors are reused across transactions to stay allocation-free
+// on the hot path.
+type Tx struct {
+	tid    int
+	state  TxState
+	reason AbortReason
+
+	readLines  []uint64
+	writeLines []uint64
+	buf        *writeBuf
+}
+
+// Tid returns the owning thread id.
+func (tx *Tx) Tid() int { return tx.tid }
+
+// Active reports whether the transaction is running and not doomed.
+func (tx *Tx) Active() bool { return tx.state == TxActive }
+
+// Doomed reports whether the transaction has been condemned, and by what.
+func (tx *Tx) Doomed() (bool, AbortReason) { return tx.state == TxDoomed, tx.reason }
+
+// Footprint returns the number of distinct cache lines in the data set.
+func (tx *Tx) Footprint() int { return len(tx.readLines) + len(tx.writeLines) }
+
+// Begin starts a hardware transaction for thread tid. It panics if the
+// thread already has an active transaction (a simulation bug, not a
+// recoverable condition).
+func (m *Memory) Begin(tid int) *Tx {
+	if old := m.txs[tid]; old != nil && old.state == TxActive {
+		panic(fmt.Sprintf("mem: thread %d nested Begin", tid))
+	}
+	tx := m.txs[tid]
+	if tx == nil {
+		tx = &Tx{
+			tid:        tid,
+			readLines:  make([]uint64, 0, 512),
+			writeLines: make([]uint64, 0, 128),
+			buf:        newWriteBuf(),
+		}
+		m.txs[tid] = tx
+	}
+	tx.state = TxActive
+	tx.reason = NoAbort
+	tx.buf.reset()
+	m.liveTx++
+	m.stats[tid].TxBegins++
+	return tx
+}
+
+// writeCap returns the write-set line budget for thread tid, halved under
+// sibling hyperthread pressure.
+func (m *Memory) writeCap(tid int) int {
+	c := m.topology.L1Lines
+	if m.pressure.SiblingActive(tid) {
+		c /= 2
+	}
+	return c
+}
+
+// readCap returns the read-set line budget for thread tid.
+func (m *Memory) readCap(tid int) int {
+	c := m.topology.ReadSetLines
+	if m.pressure.SiblingActive(tid) {
+		c /= 2
+	}
+	return c
+}
+
+// TxRead performs a transactional read. It returns the value, whether the
+// access was a coherence miss, and NoAbort on success; on a self-abort
+// (capacity) it returns the reason, and the caller must unwind. Conflicting
+// transactional writers are doomed (requester wins), so a live transaction
+// never waits.
+func (m *Memory) TxRead(tx *Tx, a word.Addr) (uint64, bool, AbortReason) {
+	m.check(a)
+	if tx.state != TxActive {
+		return 0, false, tx.reason
+	}
+	m.stats[tx.tid].TxReads++
+	if v, ok := tx.buf.get(a); ok { // store-to-load forwarding
+		return v, false, NoAbort
+	}
+	l := word.Line(a)
+	bit := uint64(1) << uint(tx.tid)
+	if m.lineReaders[l]&bit == 0 && m.lineWriter[l] != int32(tx.tid+1) {
+		// New line for this transaction: check capacity, then conflicts.
+		if len(tx.readLines) >= m.readCap(tx.tid) {
+			m.selfAbort(tx, Capacity)
+			return 0, false, Capacity
+		}
+		if w := m.lineWriter[l]; w != 0 {
+			m.doom(int(w-1), Conflict)
+		}
+		m.lineReaders[l] |= bit
+		tx.readLines = append(tx.readLines, l)
+		m.stats[tx.tid].LinesRead++
+	}
+	return m.words[a], m.readTouch(tx.tid, l), NoAbort
+}
+
+// TxWrite performs a transactional (buffered) write. On a self-abort it
+// returns the reason. Conflicting readers and writers are doomed. The
+// ownership acquisition (RFO) happens eagerly, so the coherence miss is
+// reported at the first write to the line, as on real hardware.
+func (m *Memory) TxWrite(tx *Tx, a word.Addr, v uint64) (bool, AbortReason) {
+	m.check(a)
+	if tx.state != TxActive {
+		return false, tx.reason
+	}
+	m.stats[tx.tid].TxWrites++
+	l := word.Line(a)
+	miss := false
+	if m.lineWriter[l] != int32(tx.tid+1) {
+		if len(tx.writeLines) >= m.writeCap(tx.tid) {
+			m.selfAbort(tx, Capacity)
+			return false, Capacity
+		}
+		m.doomLineConflicts(tx.tid, l)
+		m.lineWriter[l] = int32(tx.tid + 1)
+		tx.writeLines = append(tx.writeLines, l)
+		m.stats[tx.tid].LinesWritten++
+		miss = m.writeTouch(tx.tid, l)
+	}
+	if !tx.buf.put(a, v) {
+		m.selfAbort(tx, Capacity)
+		return false, Capacity
+	}
+	return miss, NoAbort
+}
+
+// selfAbort condemns the transaction from within (capacity, explicit,
+// preemption) and releases its lines.
+func (m *Memory) selfAbort(tx *Tx, reason AbortReason) {
+	if tx.state != TxActive {
+		return
+	}
+	tx.state = TxDoomed
+	tx.reason = reason
+	m.releaseLines(tx)
+	m.liveTx--
+}
+
+// AbortTx explicitly aborts thread tid's active transaction (if any) with
+// the given reason — used for XABORT and for preemption clearing the cache.
+func (m *Memory) AbortTx(tid int, reason AbortReason) {
+	tx := m.txs[tid]
+	if tx == nil || tx.state != TxActive {
+		return
+	}
+	m.selfAbort(tx, reason)
+}
+
+// Evict applies the probabilistic sibling-pressure eviction: it dooms the
+// transaction with a capacity abort. The scheduler decides when to call it.
+func (m *Memory) Evict(tx *Tx) {
+	m.selfAbort(tx, Capacity)
+}
+
+// FinishAbort acknowledges a doomed transaction: the owning thread calls it
+// while unwinding. It records statistics and retires the descriptor.
+// It returns the abort reason.
+func (m *Memory) FinishAbort(tx *Tx) AbortReason {
+	if tx.state == TxActive {
+		// The caller decided to abort before any doom arrived.
+		m.selfAbort(tx, Explicit)
+	}
+	reason := tx.reason
+	switch reason {
+	case Conflict:
+		m.stats[tx.tid].ConflictAborts++
+	case Capacity:
+		m.stats[tx.tid].CapacityAborts++
+	case Preempt:
+		m.stats[tx.tid].PreemptAborts++
+	default:
+		m.stats[tx.tid].ExplicitAborts++
+	}
+	tx.state = TxIdle
+	return reason
+}
+
+// Commit attempts to commit the transaction: on success the buffered writes
+// become visible atomically and it returns NoAbort. If the transaction was
+// doomed, nothing is written and the reason is returned; the caller must
+// then call FinishAbort.
+func (m *Memory) Commit(tx *Tx) AbortReason {
+	if tx.state != TxActive {
+		return tx.reason
+	}
+	for _, a := range tx.buf.order {
+		v, _ := tx.buf.get(a)
+		m.words[a] = v
+	}
+	m.stats[tx.tid].CommittedActions += uint64(len(tx.buf.order))
+	m.releaseLines(tx)
+	m.liveTx--
+	tx.state = TxIdle
+	m.stats[tx.tid].Commits++
+	return NoAbort
+}
+
+// CurrentTx returns thread tid's transaction descriptor if one is active or
+// doomed-but-unacknowledged, else nil.
+func (m *Memory) CurrentTx(tid int) *Tx {
+	tx := m.txs[tid]
+	if tx == nil || tx.state == TxIdle {
+		return nil
+	}
+	return tx
+}

@@ -1,0 +1,88 @@
+package prog
+
+import "fmt"
+
+// Builder assembles an operation's basic blocks with forward-referencable
+// labels, the way a compiler lays out a control-flow graph. Blocks obtain
+// their branch targets by dereferencing *Label values at run time, so a
+// label may be bound after the blocks that jump to it are added.
+type Builder struct {
+	blocks []Block
+	attrs  []uint8
+	labels []*int
+	atomic bool
+}
+
+// NewBuilder returns an empty operation builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Label allocates an unbound jump target.
+func (b *Builder) Label() *int {
+	l := new(int)
+	*l = -2 // poison: jumping to an unbound label fails loudly
+	b.labels = append(b.labels, l)
+	return l
+}
+
+// Bind points label l at the next block to be added.
+func (b *Builder) Bind(l *int) { *l = len(b.blocks) }
+
+// Add appends a basic block and returns its index.
+func (b *Builder) Add(blk Block) int {
+	var attr uint8
+	if b.atomic {
+		attr |= AttrAtomic
+	}
+	b.blocks = append(b.blocks, blk)
+	b.attrs = append(b.attrs, attr)
+	return len(b.blocks) - 1
+}
+
+// AtomicBegin opens a programmer-defined transactional region: blocks added
+// until AtomicEnd carry AttrAtomic and are never split apart (§5.5).
+func (b *Builder) AtomicBegin() {
+	if b.atomic {
+		panic("prog: nested AtomicBegin")
+	}
+	b.atomic = true
+}
+
+// AtomicEnd closes the current transactional region.
+func (b *Builder) AtomicEnd() {
+	if !b.atomic {
+		panic("prog: AtomicEnd without AtomicBegin")
+	}
+	b.atomic = false
+}
+
+// AddUnsupported appends a block that cannot execute inside a hardware
+// transaction (§5.4). It panics inside an atomic region: a programmer-
+// defined transaction containing an untransactable instruction can only run
+// on the software slow path, which the paper leaves to the programmer's
+// fallback.
+func (b *Builder) AddUnsupported(blk Block) int {
+	if b.atomic {
+		panic("prog: unsupported instruction inside a programmer-defined transactional region")
+	}
+	i := b.Add(blk)
+	b.attrs[i] |= AttrUnsupported
+	return i
+}
+
+// Build finalizes the operation. It panics on unbound labels — an unbound
+// label is a construction bug that would otherwise surface as a bizarre
+// runtime jump.
+func (b *Builder) Build(id int, name string, frameWords int) *Op {
+	for i, l := range b.labels {
+		if *l < 0 || *l >= len(b.blocks) {
+			panic(fmt.Sprintf("prog: op %s has unbound or out-of-range label %d (-> %d)", name, i, *l))
+		}
+	}
+	if len(b.blocks) == 0 {
+		panic(fmt.Sprintf("prog: op %s has no blocks", name))
+	}
+	if b.atomic {
+		panic(fmt.Sprintf("prog: op %s has an unclosed transactional region", name))
+	}
+	return &Op{ID: id, Name: name, FrameWords: frameWords, Blocks: b.blocks, attrs: b.attrs}
+}

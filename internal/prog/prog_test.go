@@ -1,0 +1,243 @@
+package prog
+
+import (
+	"testing"
+
+	"stacktrack/internal/alloc"
+	"stacktrack/internal/mem"
+	"stacktrack/internal/sched"
+	"stacktrack/internal/topo"
+)
+
+func newThread(t *testing.T) *sched.Thread {
+	t.Helper()
+	m := mem.New(mem.Config{Words: 1 << 16})
+	a := alloc.New(m)
+	sc := sched.NewScheduler(m, topo.Haswell8Way(), 1)
+	_ = sc
+	th := sched.NewThread(0, m, a, 7)
+	th.Scheme = sched.NopReclaimer{}
+	return th
+}
+
+// addOp builds a three-block operation: R0 = R1 + R2, with a frame slot
+// carrying the intermediate.
+func addOp() *Op {
+	b := NewBuilder()
+	lbMid := b.Label()
+	lbEnd := b.Label()
+	b.Add(func(t *sched.Thread, f sched.Frame) int {
+		f.Set(0, t.Reg(RegArg1))
+		return *lbMid
+	})
+	b.Bind(lbMid)
+	b.Add(func(t *sched.Thread, f sched.Frame) int {
+		f.Set(0, f.Get(0)+t.Reg(RegArg2))
+		return *lbEnd
+	})
+	b.Bind(lbEnd)
+	b.Add(func(t *sched.Thread, f sched.Frame) int {
+		t.SetReg(RegResult, f.Get(0))
+		return Done
+	})
+	return b.Build(0, "test.Add", 1)
+}
+
+func TestBuilderUnboundLabelPanics(t *testing.T) {
+	b := NewBuilder()
+	lb := b.Label()
+	b.Add(func(t *sched.Thread, f sched.Frame) int { return *lb })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Build with unbound label should panic")
+		}
+	}()
+	b.Build(0, "bad", 0)
+}
+
+func TestBuilderEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Build with no blocks should panic")
+		}
+	}()
+	NewBuilder().Build(0, "empty", 0)
+}
+
+func TestPlainRunnerExecutes(t *testing.T) {
+	th := newThread(t)
+	op := addOp()
+	r := &PlainRunner{}
+	th.SetReg(RegArg1, 30)
+	th.SetReg(RegArg2, 12)
+	r.Start(th, op)
+	steps := 0
+	for !r.Step(th) {
+		steps++
+	}
+	if th.Reg(RegResult) != 42 {
+		t.Fatalf("result %d, want 42", th.Reg(RegResult))
+	}
+	if steps != 2 { // three blocks => done on the third Step
+		t.Fatalf("steps = %d, want 2 intermediate", steps)
+	}
+	if th.SP() != 0 {
+		t.Fatal("frame not popped at op end")
+	}
+}
+
+func TestPlainRunnerStartWhileBusyPanics(t *testing.T) {
+	th := newThread(t)
+	r := &PlainRunner{}
+	r.Start(th, addOp())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Start while busy should panic")
+		}
+	}()
+	r.Start(th, addOp())
+}
+
+func TestPlainRunnerStepIdlePanics(t *testing.T) {
+	th := newThread(t)
+	r := &PlainRunner{}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Step without op should panic")
+		}
+	}()
+	r.Step(th)
+}
+
+func TestDriverFeedsOps(t *testing.T) {
+	th := newThread(t)
+	op := addOp()
+	issued := 0
+	var results []uint64
+	d := &Driver{
+		Runner: &PlainRunner{},
+		Next: func(t *sched.Thread) (*Op, [3]uint64, bool) {
+			if issued >= 3 {
+				return nil, [3]uint64{}, false
+			}
+			issued++
+			return op, [3]uint64{uint64(issued), 10, 0}, true
+		},
+		OnDone: func(t *sched.Thread, op *Op, result uint64) {
+			results = append(results, result)
+		},
+	}
+	for !d.Step(th) {
+	}
+	if th.OpsDone != 3 {
+		t.Fatalf("OpsDone = %d, want 3", th.OpsDone)
+	}
+	want := []uint64{11, 12, 13}
+	for i, w := range want {
+		if results[i] != w {
+			t.Fatalf("result[%d] = %d, want %d", i, results[i], w)
+		}
+	}
+}
+
+func TestAtomicRegionFlags(t *testing.T) {
+	b := NewBuilder()
+	lb := b.Label()
+	b.Add(func(th *sched.Thread, f sched.Frame) int { return *lb })
+	b.AtomicBegin()
+	b.Bind(lb)
+	b.Add(func(th *sched.Thread, f sched.Frame) int { return Done })
+	b.AtomicEnd()
+	op := b.Build(0, "flags", 0)
+	if op.Atomic(0) {
+		t.Fatal("block 0 should not be atomic")
+	}
+	if !op.Atomic(1) {
+		t.Fatal("block 1 should be atomic")
+	}
+	if op.Atomic(-1) || op.Atomic(99) {
+		t.Fatal("out-of-range Atomic should be false")
+	}
+}
+
+func TestUnsupportedFlag(t *testing.T) {
+	b := NewBuilder()
+	b.AddUnsupported(func(th *sched.Thread, f sched.Frame) int { return Done })
+	op := b.Build(0, "unsup", 0)
+	if !op.Unsupported(0) {
+		t.Fatal("block 0 should be unsupported")
+	}
+	if op.Unsupported(1) {
+		t.Fatal("out-of-range Unsupported should be false")
+	}
+}
+
+func TestNestedAtomicPanics(t *testing.T) {
+	b := NewBuilder()
+	b.AtomicBegin()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nested AtomicBegin should panic")
+		}
+	}()
+	b.AtomicBegin()
+}
+
+func TestAtomicEndWithoutBeginPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AtomicEnd without begin should panic")
+		}
+	}()
+	NewBuilder().AtomicEnd()
+}
+
+func TestBuildWithOpenRegionPanics(t *testing.T) {
+	b := NewBuilder()
+	b.AtomicBegin()
+	b.Add(func(th *sched.Thread, f sched.Frame) int { return Done })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Build with open region should panic")
+		}
+	}()
+	b.Build(0, "open", 0)
+}
+
+func TestPlainRunnerIgnoresFlags(t *testing.T) {
+	// The plain runner executes flagged blocks like any other: regions
+	// and unsupported instructions only constrain the transactional
+	// runner.
+	th := newThread(t)
+	b := NewBuilder()
+	lb := b.Label()
+	b.AtomicBegin()
+	b.Add(func(tt *sched.Thread, f sched.Frame) int { return *lb })
+	b.AtomicEnd()
+	b.Bind(lb)
+	b.AddUnsupported(func(tt *sched.Thread, f sched.Frame) int {
+		tt.SetReg(RegResult, 7)
+		return Done
+	})
+	op := b.Build(0, "flagged", 0)
+	r := &PlainRunner{}
+	r.Start(th, op)
+	for !r.Step(th) {
+	}
+	if th.Reg(RegResult) != 7 {
+		t.Fatal("flagged blocks did not execute under the plain runner")
+	}
+}
+
+func TestDriverStopsWhenExhausted(t *testing.T) {
+	th := newThread(t)
+	d := &Driver{
+		Runner: &PlainRunner{},
+		Next: func(tt *sched.Thread) (*Op, [3]uint64, bool) {
+			return nil, [3]uint64{}, false
+		},
+	}
+	if !d.Step(th) {
+		t.Fatal("driver with no work should report done")
+	}
+}

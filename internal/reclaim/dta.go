@@ -1,0 +1,154 @@
+package reclaim
+
+import (
+	"stacktrack/internal/alloc"
+	"stacktrack/internal/cost"
+	"stacktrack/internal/sched"
+	"stacktrack/internal/word"
+)
+
+const (
+	// DefaultAnchorHops is how many protected loads elide their fence
+	// between anchor publications (Braginsky et al. use tens of hops).
+	DefaultAnchorHops = 10
+	// DefaultDTALimit is the retire-buffer threshold.
+	DefaultDTALimit = 64
+)
+
+// DTA is a simplified drop-the-anchor scheme (Braginsky, Kogan, Petrank,
+// SPAA'13). The fast path is faithful: instead of a hazard fence per node,
+// a thread publishes an anchor once every A hops, so traversals pay ~1/A of
+// the hazard-pointer fence cost.
+//
+// Reclamation uses a non-blocking retire-era rule in place of the paper's
+// freezing recovery (see DESIGN.md §5): a retired node is freeable once
+// every thread's *current* operation began after the node was retired. A
+// retired node was already unreachable, so an operation that started later
+// can never have acquired a reference to it; unlike Epoch, nobody waits —
+// nodes that fail the test simply stay buffered, so a preempted thread
+// delays only the nodes retired during its own operation.
+type DTA struct {
+	sc    *sched.Scheduler
+	al    *alloc.Allocator
+	hops  int
+	limit int
+
+	retireClock uint64 // global retire-era counter
+
+	anchors  [64]word.Addr // per-thread anchor slot in simulated memory
+	hopCnt   [64]int
+	opStart  [64]uint64 // retire-era at the thread's current op start
+	inOp     [64]bool
+	bufAddrs [64][]word.Addr
+	bufEras  [64][]uint64
+}
+
+// NewDTA creates the simplified drop-the-anchor scheme.
+func NewDTA(sc *sched.Scheduler, al *alloc.Allocator, hops, limit int) *DTA {
+	if hops <= 0 {
+		hops = DefaultAnchorHops
+	}
+	if limit <= 0 {
+		limit = DefaultDTALimit
+	}
+	return &DTA{sc: sc, al: al, hops: hops, limit: limit}
+}
+
+// Name implements sched.Reclaimer.
+func (*DTA) Name() string { return "DTA" }
+
+// Attach implements sched.Reclaimer.
+func (d *DTA) Attach(t *sched.Thread) {
+	d.anchors[t.ID] = t.A.Static(1)
+}
+
+// BeginOp implements sched.Reclaimer: record the retire era the operation
+// starts in.
+func (d *DTA) BeginOp(t *sched.Thread, opID int) {
+	t.Charge(cost.EpochTick)
+	t.StorePlain(t.ActivityAddr(), uint64(opID)+1)
+	d.opStart[t.ID] = d.retireClock
+	d.inOp[t.ID] = true
+	d.hopCnt[t.ID] = 0
+}
+
+// EndOp implements sched.Reclaimer.
+func (d *DTA) EndOp(t *sched.Thread) {
+	t.Charge(cost.EpochTick)
+	t.StorePlain(d.anchors[t.ID], 0)
+	t.StorePlain(t.ActivityAddr(), 0)
+	d.inOp[t.ID] = false
+}
+
+// ProtectLoad implements sched.Reclaimer: a plain load on most hops, an
+// anchor publication (fence + revalidate, as in hazard pointers) every
+// d.hops-th hop.
+func (d *DTA) ProtectLoad(t *sched.Thread, _ int, src word.Addr) uint64 {
+	v := t.Load(src)
+	d.hopCnt[t.ID]++
+	if d.hopCnt[t.ID] < d.hops {
+		return v
+	}
+	d.hopCnt[t.ID] = 0
+	for {
+		t.StorePlain(d.anchors[t.ID], uint64(word.Ptr(v)))
+		t.Fence()
+		v2 := t.Load(src)
+		if v2 == v {
+			return v
+		}
+		v = v2
+	}
+}
+
+// Protect implements sched.Reclaimer. DTA's retire-era rule already keeps
+// every node retired during any in-flight operation alive, so held
+// references never need extra guards.
+func (d *DTA) Protect(*sched.Thread, int, word.Addr) {}
+
+// Retire implements sched.Reclaimer: stamp the node with the retire era and
+// attempt a non-blocking sweep when the buffer fills.
+func (d *DTA) Retire(t *sched.Thread, p word.Addr) {
+	d.retireClock++
+	d.bufAddrs[t.ID] = append(d.bufAddrs[t.ID], p)
+	d.bufEras[t.ID] = append(d.bufEras[t.ID], d.retireClock)
+	if len(d.bufAddrs[t.ID]) >= d.limit {
+		d.sweep(t)
+	}
+}
+
+// sweep frees every buffered node whose retire era precedes the op-start
+// era of all currently active threads (other than the sweeper, whose own
+// current operation retired the node and promises not to touch it again).
+func (d *DTA) sweep(t *sched.Thread) {
+	// horizon = the earliest op-start era among active threads: a node
+	// retired at era <= horizon was already unreachable when every
+	// in-flight operation began, so no operation can hold it.
+	horizon := d.retireClock
+	for _, u := range d.sc.Threads() {
+		if u.ID == t.ID || u.Done() {
+			continue
+		}
+		t.Charge(cost.Load) // reading u's published op-start stamp
+		if d.inOp[u.ID] && d.opStart[u.ID] < horizon {
+			horizon = d.opStart[u.ID]
+		}
+	}
+	addrs, eras := d.bufAddrs[t.ID], d.bufEras[t.ID]
+	keptA, keptE := addrs[:0], eras[:0]
+	for i, p := range addrs {
+		if eras[i] <= horizon {
+			t.FreeNow(p)
+			continue
+		}
+		keptA = append(keptA, p)
+		keptE = append(keptE, eras[i])
+	}
+	d.bufAddrs[t.ID], d.bufEras[t.ID] = keptA, keptE
+}
+
+// Drain implements sched.Reclaimer.
+func (d *DTA) Drain(t *sched.Thread) { d.sweep(t) }
+
+// Pending returns the number of retired-but-unfreed nodes for thread tid.
+func (d *DTA) Pending(tid int) int { return len(d.bufAddrs[tid]) }

@@ -1,0 +1,154 @@
+package reclaim
+
+import (
+	"fmt"
+
+	"stacktrack/internal/alloc"
+	"stacktrack/internal/sched"
+	"stacktrack/internal/word"
+)
+
+const (
+	// DefaultHazardSlots is the per-thread hazard-pointer count: two
+	// traversal slots, two pinned-node slots, and one per skip-list
+	// level for the recorded predecessors — the per-structure guard
+	// budget the paper notes hazard pointers force the programmer to
+	// reason about.
+	DefaultHazardSlots = 48
+	// DefaultHazardLimit is the retire-buffer threshold that triggers a
+	// hazard scan (Michael's R parameter).
+	DefaultHazardLimit = 64
+)
+
+// Hazard implements Michael's hazard pointers. A thread publishes the
+// address of any node it is about to dereference into one of its hazard
+// slots, fences, and revalidates the source pointer; a reclaiming thread
+// frees a retired node only if no slot anywhere points to it.
+//
+// The fence on every protected load is the scheme's defining cost; on
+// pointer-chasing structures it caps throughput well below the
+// uninstrumented original (Figures 1–2). The slot discipline is the
+// per-data-structure manual customization the paper says prevents hazard
+// pointers from being applied automatically.
+type Hazard struct {
+	sc    *sched.Scheduler
+	al    *alloc.Allocator
+	slots int
+	limit int
+
+	base [64]word.Addr // per-thread hazard-slot arrays in simulated memory
+	bufs [64][]word.Addr
+	used [64]int // per-op high-water slot mark, so EndOp clears only what was set
+}
+
+// NewHazard creates the hazard-pointer scheme with the given slot count and
+// retire-buffer threshold.
+func NewHazard(sc *sched.Scheduler, al *alloc.Allocator, slots, limit int) *Hazard {
+	if slots <= 0 {
+		slots = DefaultHazardSlots
+	}
+	if limit <= 0 {
+		limit = DefaultHazardLimit
+	}
+	return &Hazard{sc: sc, al: al, slots: slots, limit: limit}
+}
+
+// Name implements sched.Reclaimer.
+func (*Hazard) Name() string { return "Hazards" }
+
+// Attach implements sched.Reclaimer: carve the thread's hazard slots out of
+// the static region so other threads' scans can read them.
+func (h *Hazard) Attach(t *sched.Thread) {
+	h.base[t.ID] = t.A.Static(h.slots)
+}
+
+// BeginOp implements sched.Reclaimer.
+func (h *Hazard) BeginOp(t *sched.Thread, opID int) {
+	t.StorePlain(t.ActivityAddr(), uint64(opID)+1)
+}
+
+// EndOp implements sched.Reclaimer: clear the hazards the operation set so
+// retired nodes stop being held. Only slots up to the operation's
+// high-water mark are touched — a queue operation clears two words, not
+// the skip list's whole guard budget.
+func (h *Hazard) EndOp(t *sched.Thread) {
+	for i := 0; i < h.used[t.ID]; i++ {
+		t.StorePlain(h.base[t.ID]+word.Addr(i), 0)
+	}
+	h.used[t.ID] = 0
+	t.StorePlain(t.ActivityAddr(), 0)
+}
+
+// ProtectLoad implements sched.Reclaimer: the hazard publication protocol.
+// The returned word preserves any mark bit; the published hazard is the
+// node address itself.
+func (h *Hazard) ProtectLoad(t *sched.Thread, slot int, src word.Addr) uint64 {
+	if slot < 0 || slot >= h.slots {
+		panic(fmt.Sprintf("reclaim: hazard slot %d out of range [0,%d)", slot, h.slots))
+	}
+	if slot >= h.used[t.ID] {
+		h.used[t.ID] = slot + 1
+	}
+	v := t.Load(src)
+	for {
+		t.StorePlain(h.base[t.ID]+word.Addr(slot), uint64(word.Ptr(v)))
+		// The fence makes the hazard visible before the validating
+		// re-read — the per-node cost the paper measures.
+		t.Fence()
+		v2 := t.Load(src)
+		if v2 == v {
+			return v
+		}
+		v = v2
+	}
+}
+
+// Protect implements sched.Reclaimer: publish a guard for a node the
+// thread already holds safely (guard handoff). A fence makes it visible
+// before any subsequent scan decision.
+func (h *Hazard) Protect(t *sched.Thread, slot int, node word.Addr) {
+	if slot < 0 || slot >= h.slots {
+		panic(fmt.Sprintf("reclaim: hazard slot %d out of range [0,%d)", slot, h.slots))
+	}
+	if slot >= h.used[t.ID] {
+		h.used[t.ID] = slot + 1
+	}
+	t.StorePlain(h.base[t.ID]+word.Addr(slot), uint64(node))
+	t.Fence()
+}
+
+// Retire implements sched.Reclaimer: buffer the node and scan when full.
+func (h *Hazard) Retire(t *sched.Thread, p word.Addr) {
+	h.bufs[t.ID] = append(h.bufs[t.ID], p)
+	if len(h.bufs[t.ID]) >= h.limit {
+		h.scan(t)
+	}
+}
+
+// scan frees every buffered node not covered by any thread's hazards.
+func (h *Hazard) scan(t *sched.Thread) {
+	held := make(map[word.Addr]struct{}, 64*h.slots)
+	for _, u := range h.sc.Threads() {
+		for i := 0; i < h.slots; i++ {
+			if v := t.LoadPlain(h.base[u.ID] + word.Addr(i)); v != 0 {
+				held[word.Addr(v)] = struct{}{}
+			}
+		}
+	}
+	buf := h.bufs[t.ID]
+	kept := buf[:0]
+	for _, p := range buf {
+		if _, ok := held[p]; ok {
+			kept = append(kept, p)
+			continue
+		}
+		t.FreeNow(p)
+	}
+	h.bufs[t.ID] = kept
+}
+
+// Drain implements sched.Reclaimer.
+func (h *Hazard) Drain(t *sched.Thread) { h.scan(t) }
+
+// Pending returns the number of retired-but-unfreed nodes for thread tid.
+func (h *Hazard) Pending(tid int) int { return len(h.bufs[tid]) }

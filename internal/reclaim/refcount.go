@@ -1,0 +1,170 @@
+package reclaim
+
+import (
+	"fmt"
+
+	"stacktrack/internal/cost"
+	"stacktrack/internal/sched"
+	"stacktrack/internal/word"
+)
+
+// DefaultRefSlots is the per-thread count-slot budget for RefCount,
+// mirroring the hazard-pointer slot map (traversal, pinned nodes, and one
+// per skip-list level).
+const DefaultRefSlots = 48
+
+// RefCount implements the third family of reclamation schemes the paper
+// surveys (Valois; Detlefs et al.; Gidenstam et al.): every node carries a
+// reference count, incremented before use and decremented after, with the
+// node freed when its count drops to zero after retirement. The paper notes
+// this family "can probably be automated" but carries "the highest
+// performance overhead" — every traversal hop pays an atomic
+// read-modify-write where hazard pointers pay a fence and StackTrack pays
+// nothing.
+//
+// The automation here is slot-based, mirroring ProtectLoad: acquiring a
+// node through a slot increments its count and releases the slot's previous
+// node. Counts are host-side state with their synchronization cost charged
+// (an atomic RMW plus the coherence miss of the count line); nothing in the
+// simulation reads them but this scheme itself. The acquire-validate race
+// of real counted pointers (which needs DCAS or allocator cooperation,
+// §3) cannot occur at the simulator's block atomicity — its cost is
+// modeled, its failure path is exercised logically only.
+type RefCount struct {
+	sc    *sched.Scheduler
+	slots int
+
+	counts map[word.Addr]int64
+	zombie map[word.Addr]bool
+	held   [64][]word.Addr
+}
+
+// NewRefCount creates the reference-counting scheme.
+func NewRefCount(sc *sched.Scheduler, slots int) *RefCount {
+	if slots <= 0 {
+		slots = DefaultRefSlots
+	}
+	return &RefCount{
+		sc:     sc,
+		slots:  slots,
+		counts: make(map[word.Addr]int64),
+		zombie: make(map[word.Addr]bool),
+	}
+}
+
+// Name implements sched.Reclaimer.
+func (rc *RefCount) Name() string { return "RefCount" }
+
+// Attach implements sched.Reclaimer.
+func (rc *RefCount) Attach(t *sched.Thread) {
+	rc.held[t.ID] = make([]word.Addr, rc.slots)
+}
+
+// BeginOp implements sched.Reclaimer.
+func (rc *RefCount) BeginOp(t *sched.Thread, opID int) {
+	t.StorePlain(t.ActivityAddr(), uint64(opID)+1)
+}
+
+// EndOp implements sched.Reclaimer: drop every slot's reference.
+func (rc *RefCount) EndOp(t *sched.Thread) {
+	for i, n := range rc.held[t.ID] {
+		if n != word.Null {
+			rc.dec(t, n)
+			rc.held[t.ID][i] = word.Null
+		}
+	}
+	t.StorePlain(t.ActivityAddr(), 0)
+}
+
+// ProtectLoad implements sched.Reclaimer: load, increment the target's
+// count, release the slot's previous target, revalidate.
+func (rc *RefCount) ProtectLoad(t *sched.Thread, slot int, src word.Addr) uint64 {
+	if slot < 0 || slot >= rc.slots {
+		panic(fmt.Sprintf("reclaim: refcount slot %d out of range [0,%d)", slot, rc.slots))
+	}
+	for {
+		v := t.Load(src)
+		node := word.Ptr(v)
+		if node != word.Null {
+			rc.inc(t, node)
+		}
+		if prev := rc.held[t.ID][slot]; prev != word.Null {
+			rc.dec(t, prev)
+		}
+		rc.held[t.ID][slot] = node
+		if t.Load(src) == v {
+			return v
+		}
+		// The pointer changed while we were counting: undo and retry
+		// (another thread made progress, so this is lock-free).
+		if node != word.Null {
+			rc.dec(t, node)
+		}
+		rc.held[t.ID][slot] = word.Null
+	}
+}
+
+// Protect implements sched.Reclaimer: take an additional count on a node
+// the thread already holds (guard handoff), releasing the slot's previous
+// occupant.
+func (rc *RefCount) Protect(t *sched.Thread, slot int, node word.Addr) {
+	if slot < 0 || slot >= rc.slots {
+		panic(fmt.Sprintf("reclaim: refcount slot %d out of range [0,%d)", slot, rc.slots))
+	}
+	if prev := rc.held[t.ID][slot]; prev == node {
+		return
+	} else if prev != word.Null {
+		rc.dec(t, prev)
+	}
+	if node != word.Null {
+		rc.inc(t, node)
+	}
+	rc.held[t.ID][slot] = node
+}
+
+// Retire implements sched.Reclaimer: free now if unreferenced, else mark
+// the node a zombie to be freed by its last release.
+func (rc *RefCount) Retire(t *sched.Thread, p word.Addr) {
+	if rc.counts[p] == 0 {
+		t.FreeNow(p)
+		return
+	}
+	rc.zombie[p] = true
+}
+
+// Drain implements sched.Reclaimer. Counts drop to zero as threads finish
+// their operations (EndOp releases the slots), so there is nothing left to
+// flush here; the map is swept for zombies whose holders have gone.
+func (rc *RefCount) Drain(t *sched.Thread) {
+	for p := range rc.zombie {
+		if rc.counts[p] == 0 {
+			delete(rc.zombie, p)
+			t.FreeNow(p)
+		}
+	}
+}
+
+// Pending returns the number of retired-but-unfreed zombies.
+func (rc *RefCount) Pending() int { return len(rc.zombie) }
+
+// inc charges and applies a count increment.
+func (rc *RefCount) inc(t *sched.Thread, p word.Addr) {
+	t.Charge(cost.AtomicAdd + cost.Miss/2) // RMW on a line other threads touch
+	rc.counts[p]++
+}
+
+// dec charges and applies a count decrement, freeing a zombie at zero.
+func (rc *RefCount) dec(t *sched.Thread, p word.Addr) {
+	t.Charge(cost.AtomicAdd + cost.Miss/2)
+	rc.counts[p]--
+	if rc.counts[p] < 0 {
+		panic(fmt.Sprintf("reclaim: negative refcount for %#x", uint64(p)))
+	}
+	if rc.counts[p] == 0 {
+		delete(rc.counts, p)
+		if rc.zombie[p] {
+			delete(rc.zombie, p)
+			t.FreeNow(p)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package reclaim
+
+import (
+	"testing"
+
+	"stacktrack/internal/word"
+)
+
+func TestRefCountProtectCounts(t *testing.T) {
+	w := newWorld(t, 2)
+	rc := NewRefCount(w.sc, 4)
+	attach(w, rc)
+	t0 := w.ts[0]
+	src := w.al.Static(1)
+	node := w.al.Alloc(0, 4)
+	w.m.Poke(src, uint64(node))
+
+	rc.ProtectLoad(t0, 0, src)
+	if rc.counts[node] != 1 {
+		t.Fatalf("count = %d, want 1", rc.counts[node])
+	}
+	// Re-acquiring through the same slot must not double-count.
+	rc.ProtectLoad(t0, 0, src)
+	if rc.counts[node] != 1 {
+		t.Fatalf("count after re-acquire = %d, want 1", rc.counts[node])
+	}
+	// A different slot adds a second reference.
+	rc.ProtectLoad(t0, 1, src)
+	if rc.counts[node] != 2 {
+		t.Fatalf("count with two slots = %d, want 2", rc.counts[node])
+	}
+	rc.EndOp(t0)
+	if rc.counts[node] != 0 {
+		t.Fatalf("count after EndOp = %d, want 0", rc.counts[node])
+	}
+}
+
+func TestRefCountSlotReleasesPrevious(t *testing.T) {
+	w := newWorld(t, 1)
+	rc := NewRefCount(w.sc, 2)
+	attach(w, rc)
+	t0 := w.ts[0]
+	src := w.al.Static(1)
+	a := w.al.Alloc(0, 4)
+	b := w.al.Alloc(0, 4)
+
+	w.m.Poke(src, uint64(a))
+	rc.ProtectLoad(t0, 0, src)
+	w.m.Poke(src, uint64(b))
+	rc.ProtectLoad(t0, 0, src) // slot 0 moves a -> b
+	if rc.counts[a] != 0 || rc.counts[b] != 1 {
+		t.Fatalf("counts a=%d b=%d, want 0/1", rc.counts[a], rc.counts[b])
+	}
+}
+
+func TestRefCountRetireDefersUntilRelease(t *testing.T) {
+	w := newWorld(t, 2)
+	rc := NewRefCount(w.sc, 2)
+	attach(w, rc)
+	t0, t1 := w.ts[0], w.ts[1]
+	src := w.al.Static(1)
+	node := w.al.Alloc(0, 4)
+	w.m.Poke(src, uint64(node))
+
+	rc.BeginOp(t1, 0)
+	rc.ProtectLoad(t1, 0, src) // t1 holds a reference
+	rc.Retire(t0, node)
+	if !w.al.IsAllocated(node) {
+		t.Fatal("node freed while referenced")
+	}
+	if rc.Pending() != 1 {
+		t.Fatal("node not tracked as zombie")
+	}
+	rc.EndOp(t1) // the last release frees the zombie
+	if w.al.IsAllocated(node) {
+		t.Fatal("zombie not freed by its last release")
+	}
+	if rc.Pending() != 0 {
+		t.Fatal("zombie still tracked")
+	}
+}
+
+func TestRefCountImmediateFreeWhenUnreferenced(t *testing.T) {
+	w := newWorld(t, 1)
+	rc := NewRefCount(w.sc, 2)
+	attach(w, rc)
+	node := w.al.Alloc(0, 4)
+	rc.Retire(w.ts[0], node)
+	if w.al.IsAllocated(node) {
+		t.Fatal("unreferenced node not freed at retire")
+	}
+}
+
+func TestRefCountMarkedPointerCountsNode(t *testing.T) {
+	w := newWorld(t, 1)
+	rc := NewRefCount(w.sc, 2)
+	attach(w, rc)
+	t0 := w.ts[0]
+	src := w.al.Static(1)
+	node := w.al.Alloc(0, 4)
+	w.m.Poke(src, word.Mark(node))
+	got := rc.ProtectLoad(t0, 0, src)
+	if !word.IsMarked(got) {
+		t.Fatal("mark bit lost")
+	}
+	if rc.counts[node] != 1 {
+		t.Fatal("marked pointer's node not counted")
+	}
+}
+
+func TestRefCountIsCostlierThanHazards(t *testing.T) {
+	// The paper's ordering: reference counting carries the highest
+	// per-access overhead of the classic schemes.
+	w := newWorld(t, 1)
+	rc := NewRefCount(w.sc, 2)
+	h := NewHazard(w.sc, w.al, 2, 8)
+	rc.Attach(w.ts[0])
+	h.Attach(w.ts[0])
+	src := w.al.Static(1)
+	node := w.al.Alloc(0, 4)
+	w.m.Poke(src, uint64(node))
+
+	t0 := w.ts[0]
+	// Warm the lines so neither scheme pays cold coherence misses.
+	t0.LoadPlain(src)
+	t0.LoadPlain(node)
+	h.ProtectLoad(t0, 0, src)
+	rc.ProtectLoad(t0, 0, src)
+	rc.EndOp(t0)
+
+	before := t0.VTime()
+	h.ProtectLoad(t0, 0, src)
+	hazCost := t0.VTime() - before
+
+	before = t0.VTime()
+	rc.ProtectLoad(t0, 1, src)
+	rcCost := t0.VTime() - before
+	if rcCost <= hazCost {
+		t.Fatalf("refcount protect (%d cycles) should cost more than hazard protect (%d)", rcCost, hazCost)
+	}
+}

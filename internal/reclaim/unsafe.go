@@ -1,0 +1,37 @@
+package reclaim
+
+import (
+	"stacktrack/internal/sched"
+	"stacktrack/internal/word"
+)
+
+// UnsafeFree frees every node the moment it is retired, with no check that
+// other threads still hold references. It is deliberately unsound — the
+// textbook reclamation bug — and exists so the validation machinery can be
+// demonstrated and tested: under concurrency it produces poison
+// (use-after-free) reads or outright simulated crashes, which correct
+// schemes never do.
+type UnsafeFree struct {
+	sched.NopReclaimer
+}
+
+// NewUnsafeFree returns the deliberately unsound scheme.
+func NewUnsafeFree() *UnsafeFree { return &UnsafeFree{} }
+
+// Name implements sched.Reclaimer.
+func (*UnsafeFree) Name() string { return "UnsafeFree" }
+
+// BeginOp implements sched.Reclaimer (activity only, for scan parity).
+func (*UnsafeFree) BeginOp(t *sched.Thread, opID int) {
+	t.StorePlain(t.ActivityAddr(), uint64(opID)+1)
+}
+
+// EndOp implements sched.Reclaimer.
+func (*UnsafeFree) EndOp(t *sched.Thread) {
+	t.StorePlain(t.ActivityAddr(), 0)
+}
+
+// Retire implements sched.Reclaimer: free immediately. Unsound on purpose.
+func (*UnsafeFree) Retire(t *sched.Thread, p word.Addr) {
+	t.FreeNow(p)
+}

@@ -1,0 +1,82 @@
+// Package rng provides small, fast, deterministic random number generators
+// for the simulator. Every source of randomness in a run derives from a
+// single seed, so an experiment is reproducible bit-for-bit.
+//
+// The generator is splitmix64 for stream splitting plus xoshiro-style
+// mixing for the per-thread streams; both are allocation-free.
+package rng
+
+// Splitmix64 advances the splitmix64 state in *s and returns the next value.
+// It is used to derive independent sub-seeds from a master seed.
+func Splitmix64(s *uint64) uint64 {
+	*s += 0x9E3779B97F4A7C15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Rand is a deterministic 64-bit PRNG (xorshift128+ variant). The zero value
+// is not valid; construct with New.
+type Rand struct {
+	s0, s1 uint64
+}
+
+// New returns a generator seeded from seed via splitmix64. Distinct seeds
+// yield independent streams.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed reinitializes the generator from seed.
+func (r *Rand) Reseed(seed uint64) {
+	s := seed
+	r.s0 = Splitmix64(&s)
+	r.s1 = Splitmix64(&s)
+	if r.s0 == 0 && r.s1 == 0 { // xorshift must not start at all-zero state
+		r.s0 = 1
+	}
+}
+
+// Uint64 returns the next pseudo-random 64-bit value.
+func (r *Rand) Uint64() uint64 {
+	s1, s0 := r.s0, r.s1
+	r.s0 = s0
+	s1 ^= s1 << 23
+	r.s1 = s1 ^ s0 ^ (s1 >> 17) ^ (s0 >> 26)
+	return r.s1 + s0
+}
+
+// Intn returns a pseudo-random value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uint64n returns a pseudo-random value in [0, n). It panics if n == 0.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with zero n")
+	}
+	return r.Uint64() % n
+}
+
+// Float64 returns a pseudo-random value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}

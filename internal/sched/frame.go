@@ -1,0 +1,85 @@
+package sched
+
+import (
+	"fmt"
+
+	"stacktrack/internal/word"
+)
+
+// Frame is a window of slots on the thread's simulated stack. Operation
+// locals that hold pointers live in frames (or registers), which is what
+// makes them visible to the StackTrack scanner.
+//
+// Frame slot reads and writes go through the thread's current access mode:
+// on the fast path they are transactional, so a concurrent scanner observes
+// only committed frame contents — the paper's "consistent views" property.
+type Frame struct {
+	t    *Thread
+	base word.Addr
+	size int
+}
+
+// PushFrame reserves n stack slots and returns the frame. If the runner
+// tracks the exposed stack pointer, the update travels through the current
+// access mode so it commits atomically with the frame's contents.
+func (t *Thread) PushFrame(n int) Frame {
+	if t.sp+n > StackWords {
+		panic(fmt.Sprintf("sched: thread %d stack overflow (%d+%d)", t.ID, t.sp, n))
+	}
+	f := Frame{t: t, base: t.StackBase + word.Addr(t.sp), size: n}
+	t.sp += n
+	if t.TrackSP {
+		t.StoreLocal(t.SPAddr(), uint64(t.sp))
+	}
+	return f
+}
+
+// PopFrame releases the most recently pushed frame. Frames must pop in LIFO
+// order; violating that is a simulation bug and panics.
+func (t *Thread) PopFrame(f Frame) {
+	if f.base+word.Addr(f.size) != t.StackBase+word.Addr(t.sp) {
+		panic(fmt.Sprintf("sched: thread %d non-LIFO frame pop", t.ID))
+	}
+	t.sp -= f.size
+	if t.TrackSP {
+		t.StoreLocal(t.SPAddr(), uint64(t.sp))
+	}
+}
+
+// SP returns the current stack pointer (in words above the stack base).
+func (t *Thread) SP() int { return t.sp }
+
+// SetSP restores the stack pointer (segment abort rollback).
+func (t *Thread) SetSP(sp int) { t.sp = sp }
+
+// Get reads frame slot i: transactionally on the fast path (so aborts roll
+// locals back and scanners see committed state), plainly otherwise — stack
+// locals are never slow-path instrumented.
+func (f Frame) Get(i int) uint64 {
+	f.check(i)
+	return f.t.LoadLocal(f.base + word.Addr(i))
+}
+
+// Set writes frame slot i (see Get).
+func (f Frame) Set(i int, v uint64) {
+	f.check(i)
+	f.t.StoreLocal(f.base+word.Addr(i), v)
+}
+
+// GetPtr reads frame slot i as a pointer, stripping any mark bit.
+func (f Frame) GetPtr(i int) word.Addr { return word.Ptr(f.Get(i)) }
+
+// Addr returns the simulated address of frame slot i.
+func (f Frame) Addr(i int) word.Addr {
+	f.check(i)
+	return f.base + word.Addr(i)
+}
+
+// Size returns the number of slots in the frame.
+func (f Frame) Size() int { return f.size }
+
+func (f Frame) check(i int) {
+	if i < 0 || i >= f.size {
+		panic(fmt.Sprintf("sched: frame slot %d out of range [0,%d)", i, f.size))
+	}
+}

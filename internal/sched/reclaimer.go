@@ -1,0 +1,78 @@
+package sched
+
+import "stacktrack/internal/word"
+
+// Reclaimer is the interface every memory-reclamation scheme implements.
+// It is defined here (rather than in internal/reclaim) so that data
+// structures and the scheduler can invoke schemes without an import cycle.
+type Reclaimer interface {
+	// Name identifies the scheme in benchmark output.
+	Name() string
+
+	// Attach prepares per-thread scheme state. Called once per thread
+	// before the workload starts, while static allocation is still open.
+	Attach(t *Thread)
+
+	// BeginOp marks the start of a data-structure operation (epoch
+	// timestamp update, activity registration, operation-counter bump).
+	BeginOp(t *Thread, opID int)
+
+	// EndOp marks the completion of the operation.
+	EndOp(t *Thread)
+
+	// ProtectLoad loads the word stored at src with whatever protection
+	// the scheme requires before the loaded pointer may be dereferenced:
+	// hazard publication + validation for HP, anchor bookkeeping for DTA,
+	// nothing for epoch/leak/StackTrack. slot selects the guard for
+	// pointer-based schemes (the per-data-structure customization the
+	// paper says those schemes cannot avoid).
+	ProtectLoad(t *Thread, slot int, src word.Addr) uint64
+
+	// Protect publishes an additional guard on a node the thread already
+	// safely holds (it must currently be protected through another slot
+	// or be unpublished): a guard handoff, used where a reference
+	// outlives the traversal slots that acquired it — the skip list's
+	// per-level predecessors, an insert's published node. No validation
+	// is needed; the node cannot be reclaimed while the existing hold
+	// lasts. Only pointer-based schemes do anything here.
+	Protect(t *Thread, slot int, node word.Addr)
+
+	// Retire hands over a node that has been unlinked from the data
+	// structure; the scheme frees it once it proves no thread can still
+	// hold a reference.
+	Retire(t *Thread, p word.Addr)
+
+	// Drain releases whatever retired nodes can be proven safe, flushing
+	// scheme buffers. The harness calls it repeatedly at teardown.
+	Drain(t *Thread)
+}
+
+// NopReclaimer is an embeddable base supplying inert implementations; the
+// leak scheme is exactly this plus a name.
+type NopReclaimer struct{}
+
+// Name implements Reclaimer; embedders normally shadow it.
+func (NopReclaimer) Name() string { return "nop" }
+
+// Attach implements Reclaimer.
+func (NopReclaimer) Attach(*Thread) {}
+
+// BeginOp implements Reclaimer.
+func (NopReclaimer) BeginOp(*Thread, int) {}
+
+// EndOp implements Reclaimer.
+func (NopReclaimer) EndOp(*Thread) {}
+
+// ProtectLoad implements Reclaimer with an unprotected load.
+func (NopReclaimer) ProtectLoad(t *Thread, _ int, src word.Addr) uint64 {
+	return t.Load(src)
+}
+
+// Protect implements Reclaimer as a no-op.
+func (NopReclaimer) Protect(*Thread, int, word.Addr) {}
+
+// Retire implements Reclaimer by leaking the node.
+func (NopReclaimer) Retire(*Thread, word.Addr) {}
+
+// Drain implements Reclaimer.
+func (NopReclaimer) Drain(*Thread) {}

@@ -1,0 +1,297 @@
+package sched
+
+import (
+	"fmt"
+
+	"stacktrack/internal/cost"
+	"stacktrack/internal/mem"
+	"stacktrack/internal/rng"
+	"stacktrack/internal/topo"
+)
+
+// Stepper advances a thread by one basic block (or one scan chunk, or one
+// blocked-wait poll). It returns true when the thread's workload is
+// complete. The engine installs one per thread.
+type Stepper interface {
+	Step(t *Thread) bool
+}
+
+// blockedPollCost is the virtual cost of one poll of a blocked thread's
+// wake condition (a spin-wait iteration with a pause instruction).
+const blockedPollCost cost.Cycles = 400
+
+// hwContext models one hardware context (a hyperthread slot). Its queue
+// holds the software threads pinned to it; queue[0] is the current
+// occupant. Under oversubscription the scheduler rotates the queue with an
+// OS-like timeslice, aborting the outgoing thread's transaction — the
+// paper's "timer interrupt clears the cache".
+type hwContext struct {
+	id         int
+	queue      []*Thread
+	clock      cost.Cycles // virtual time of this context's timeline
+	sliceStart cost.Cycles
+}
+
+// Scheduler interleaves simulated threads in virtual-time order. It is the
+// single driver of all simulated execution; nothing in the simulation runs
+// on more than one host goroutine.
+type Scheduler struct {
+	M    *mem.Memory
+	Topo topo.Topology
+
+	threads  []*Thread
+	steppers []Stepper
+	contexts []*hwContext
+	siblings [][]int // per-context list of same-core context ids
+
+	jitter *rng.Rand
+}
+
+// NewScheduler creates a scheduler over m with the given topology and
+// registers itself as the memory's cache-pressure source.
+func NewScheduler(m *mem.Memory, tp topo.Topology, seed uint64) *Scheduler {
+	s := &Scheduler{M: m, Topo: tp, jitter: rng.New(seed)}
+	n := tp.Contexts()
+	s.contexts = make([]*hwContext, n)
+	s.siblings = make([][]int, n)
+	for i := 0; i < n; i++ {
+		s.contexts[i] = &hwContext{id: i}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && tp.CoreOf(i) == tp.CoreOf(j) {
+				s.siblings[i] = append(s.siblings[i], j)
+			}
+		}
+	}
+	m.SetPressure(s)
+	return s
+}
+
+// AddThread registers a thread and its stepper, pinning the thread to a
+// hardware context round-robin.
+func (s *Scheduler) AddThread(t *Thread, st Stepper) {
+	if t.ID != len(s.threads) {
+		panic(fmt.Sprintf("sched: thread ids must be dense, got %d want %d", t.ID, len(s.threads)))
+	}
+	t.hw = s.Topo.HWContextOf(t.ID)
+	s.threads = append(s.threads, t)
+	s.steppers = append(s.steppers, st)
+	ctx := s.contexts[t.hw]
+	ctx.queue = append(ctx.queue, t)
+	t.running = len(ctx.queue) == 1
+}
+
+// Threads returns the registered threads (the scanner's activity array).
+func (s *Scheduler) Threads() []*Thread { return s.threads }
+
+// SiblingActive implements mem.Pressure: whether a sibling hyperthread of
+// tid's core currently hosts a live thread. Threads not registered with the
+// scheduler have no siblings.
+func (s *Scheduler) SiblingActive(tid int) bool {
+	if tid >= len(s.threads) {
+		return false
+	}
+	for _, sib := range s.siblings[s.threads[tid].hw] {
+		q := s.contexts[sib].queue
+		if len(q) > 0 && !q[0].done {
+			return true
+		}
+	}
+	return false
+}
+
+// Oversubscribed reports whether any context multiplexes several threads.
+func (s *Scheduler) Oversubscribed() bool {
+	return len(s.threads) > s.Topo.Contexts()
+}
+
+// Crash kills thread tid where it stands: it is never scheduled again, its
+// in-flight transaction dies with it (the hardware discards an interrupted
+// transaction), but its simulated stack, registers, and activity word keep
+// whatever values they had — exactly what the memory-reclamation schemes
+// must now cope with. Epoch-style schemes wait on it forever; scan- and
+// pointer-based schemes merely treat its last exposed references as live.
+func (s *Scheduler) Crash(tid int) {
+	if tid >= len(s.threads) {
+		return
+	}
+	t := s.threads[tid]
+	if t.done || t.crashed {
+		return
+	}
+	s.M.AbortTx(tid, mem.Preempt)
+	t.crashed = true
+	ctx := s.contexts[t.hw]
+	for i, q := range ctx.queue {
+		if q == t {
+			ctx.queue = append(ctx.queue[:i], ctx.queue[i+1:]...)
+			if i == 0 {
+				s.switchIn(ctx, 0)
+			}
+			break
+		}
+	}
+}
+
+// Run steps threads until every live thread's virtual clock reaches the
+// `until` cycle count or all steppers report completion. It may be called
+// repeatedly with increasing horizons (warmup, then measurement).
+func (s *Scheduler) Run(until cost.Cycles) {
+	for {
+		ctx := s.pick(until)
+		if ctx == nil {
+			return
+		}
+		t := ctx.queue[0]
+
+		// OS timeslice expiry: switch in the next waiter.
+		if len(ctx.queue) > 1 && t.vtime-ctx.sliceStart >= cost.TimesliceQuantum {
+			s.rotate(ctx, until)
+			continue
+		}
+
+		if t.Blocked != nil {
+			if t.Blocked() {
+				t.Blocked = nil
+				t.pollBackoff = 0
+			} else {
+				// Spin-wait with exponential backoff (pause loop
+				// escalating toward a yield), so a wait that never
+				// completes — e.g. on a crashed thread — does not
+				// dominate the simulation.
+				c := blockedPollCost << t.pollBackoff
+				if t.pollBackoff < 12 {
+					t.pollBackoff++
+				}
+				t.Charge(c)
+				ctx.clock = t.vtime
+				continue
+			}
+		}
+
+		before := t.vtime
+		if s.steppers[t.ID].Step(t) {
+			t.done = true
+			s.retireFromContext(ctx, until)
+			continue
+		}
+		if s.Topo.HTSlowdown > 0 && s.SiblingActive(t.ID) {
+			// Shared execution units: the step takes longer while the
+			// sibling hyperthread is busy.
+			t.Charge(cost.Cycles(float64(t.vtime-before) * s.Topo.HTSlowdown))
+		}
+		s.maybeSiblingEvict(t)
+		ctx.clock = t.vtime
+	}
+}
+
+// pick returns the context whose occupant should step next: the minimum
+// context clock among contexts with work remaining. Deterministic tie-break
+// by context id.
+func (s *Scheduler) pick(until cost.Cycles) *hwContext {
+	var best *hwContext
+	for _, ctx := range s.contexts {
+		if !s.runnable(ctx, until) {
+			continue
+		}
+		if best == nil || ctx.queue[0].vtime < best.queue[0].vtime {
+			best = ctx
+		}
+	}
+	return best
+}
+
+// runnable reports whether ctx has an occupant that can step before the
+// horizon, rotating past finished or out-of-horizon occupants so waiters
+// behind them still get CPU.
+func (s *Scheduler) runnable(ctx *hwContext, until cost.Cycles) bool {
+	for len(ctx.queue) > 0 {
+		t := ctx.queue[0]
+		if t.done {
+			s.retireFromContext(ctx, until)
+			continue
+		}
+		if t.vtime >= until {
+			// Horizon reached for the occupant; let a waiter run if
+			// one still has budget.
+			if s.anyWaiterBelow(ctx, until) {
+				s.rotate(ctx, until)
+				continue
+			}
+			return false
+		}
+		return true
+	}
+	return false
+}
+
+func (s *Scheduler) anyWaiterBelow(ctx *hwContext, until cost.Cycles) bool {
+	for _, w := range ctx.queue[1:] {
+		if !w.done && w.vtime < until {
+			return true
+		}
+	}
+	return false
+}
+
+// rotate performs a context switch: the occupant's transaction aborts (the
+// timer interrupt cleared the cache), it pays the switch cost and moves to
+// the back; the next thread switches in, its clock catching up to the
+// context's timeline — modelling the time it spent descheduled.
+func (s *Scheduler) rotate(ctx *hwContext, until cost.Cycles) {
+	out := ctx.queue[0]
+	s.M.AbortTx(out.ID, mem.Preempt)
+	out.Trace(TracePreempt, 0)
+	out.Charge(cost.ContextSwitch)
+	out.running = false
+	ctx.clock = maxCycles(ctx.clock, out.vtime)
+	copy(ctx.queue, ctx.queue[1:])
+	ctx.queue[len(ctx.queue)-1] = out
+	s.switchIn(ctx, until)
+}
+
+// retireFromContext removes a finished occupant and switches in the next.
+func (s *Scheduler) retireFromContext(ctx *hwContext, until cost.Cycles) {
+	out := ctx.queue[0]
+	out.running = false
+	ctx.clock = maxCycles(ctx.clock, out.vtime)
+	ctx.queue = ctx.queue[1:]
+	s.switchIn(ctx, until)
+}
+
+func (s *Scheduler) switchIn(ctx *hwContext, until cost.Cycles) {
+	if len(ctx.queue) == 0 {
+		return
+	}
+	in := ctx.queue[0]
+	in.vtime = maxCycles(in.vtime, ctx.clock) + cost.ContextSwitch
+	in.running = true
+	ctx.sliceStart = in.vtime
+	ctx.clock = in.vtime
+	_ = until
+}
+
+// maybeSiblingEvict applies the probabilistic capacity-eviction term: when
+// the sibling hyperthread is active, a transaction loses a tracked line
+// with probability proportional to its footprint (shared L1 pressure).
+func (s *Scheduler) maybeSiblingEvict(t *Thread) {
+	tx := t.Tx
+	if tx == nil || !tx.Active() {
+		return
+	}
+	if !s.SiblingActive(t.ID) {
+		return
+	}
+	p := s.Topo.SiblingEvictRate * float64(tx.Footprint()) / float64(s.Topo.L1Lines)
+	if t.Rng.Bool(p) {
+		s.M.Evict(tx)
+	}
+}
+
+func maxCycles(a, b cost.Cycles) cost.Cycles {
+	if a > b {
+		return a
+	}
+	return b
+}

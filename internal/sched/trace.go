@@ -1,0 +1,76 @@
+package sched
+
+// Tracing hooks. The simulator can narrate itself: the runner, scanner, and
+// scheduler emit typed events through the thread's Tracer (nil by default,
+// costing one branch). internal/trace provides the standard recorder;
+// cmd/stsim exposes it with -trace.
+
+// TraceKind classifies a trace event.
+type TraceKind uint8
+
+// Trace event kinds.
+const (
+	// TraceOpStart: an operation began; arg = operation id.
+	TraceOpStart TraceKind = iota
+	// TraceOpEnd: an operation completed; arg = result register.
+	TraceOpEnd
+	// TraceSegCommit: a transaction segment committed; arg = its length
+	// in basic blocks.
+	TraceSegCommit
+	// TraceSegAbort: a segment aborted; arg = mem.AbortReason.
+	TraceSegAbort
+	// TraceSlowPath: the operation fell back to the software slow path;
+	// arg = program counter of the matching checkpoint.
+	TraceSlowPath
+	// TraceScanStart: SCAN_AND_FREE began; arg = free-set size.
+	TraceScanStart
+	// TraceScanEnd: the scan completed; arg = nodes freed.
+	TraceScanEnd
+	// TraceFree: one object returned to the allocator; arg = address.
+	TraceFree
+	// TracePreempt: the thread was switched out by the OS timeslice.
+	TracePreempt
+	// TraceBlocked: the thread parked on a wait condition (epoch).
+	TraceBlocked
+)
+
+// String returns the kind's name.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceOpStart:
+		return "op-start"
+	case TraceOpEnd:
+		return "op-end"
+	case TraceSegCommit:
+		return "seg-commit"
+	case TraceSegAbort:
+		return "seg-abort"
+	case TraceSlowPath:
+		return "slow-path"
+	case TraceScanStart:
+		return "scan-start"
+	case TraceScanEnd:
+		return "scan-end"
+	case TraceFree:
+		return "free"
+	case TracePreempt:
+		return "preempt"
+	case TraceBlocked:
+		return "blocked"
+	default:
+		return "unknown"
+	}
+}
+
+// Tracer receives simulation events. Implementations must be cheap; they
+// run on the simulation's hot path.
+type Tracer interface {
+	TraceEvent(t *Thread, k TraceKind, arg uint64)
+}
+
+// Trace emits an event if a tracer is installed.
+func (t *Thread) Trace(k TraceKind, arg uint64) {
+	if t.Tracer != nil {
+		t.Tracer.TraceEvent(t, k, arg)
+	}
+}

@@ -1,0 +1,57 @@
+package topo
+
+import "testing"
+
+func TestHaswell8Way(t *testing.T) {
+	tp := Haswell8Way()
+	if tp.Contexts() != 8 {
+		t.Fatalf("Contexts = %d, want 8", tp.Contexts())
+	}
+	if tp.Cores != 4 || tp.ThreadsPerCore != 2 {
+		t.Fatalf("unexpected topology %+v", tp)
+	}
+}
+
+func TestFirstThreadsLandOnDistinctCores(t *testing.T) {
+	tp := Haswell8Way()
+	seen := map[int]bool{}
+	for th := 0; th < tp.Cores; th++ {
+		core := tp.CoreOf(tp.HWContextOf(th))
+		if seen[core] {
+			t.Fatalf("thread %d shares a core within the first %d threads", th, tp.Cores)
+		}
+		seen[core] = true
+	}
+}
+
+func TestFifthThreadSharesACore(t *testing.T) {
+	tp := Haswell8Way()
+	c4 := tp.CoreOf(tp.HWContextOf(4))
+	c0 := tp.CoreOf(tp.HWContextOf(0))
+	if c4 != c0 {
+		t.Fatalf("thread 4 should share core with thread 0 (got cores %d and %d)", c4, c0)
+	}
+}
+
+func TestOversubscribed(t *testing.T) {
+	tp := Haswell8Way()
+	if tp.Oversubscribed(8) {
+		t.Fatal("8 threads on 8 contexts is not oversubscribed")
+	}
+	if !tp.Oversubscribed(9) {
+		t.Fatal("9 threads on 8 contexts is oversubscribed")
+	}
+}
+
+func TestHWContextWrap(t *testing.T) {
+	tp := Haswell8Way()
+	for th := 0; th < 32; th++ {
+		hw := tp.HWContextOf(th)
+		if hw < 0 || hw >= tp.Contexts() {
+			t.Fatalf("thread %d mapped to invalid context %d", th, hw)
+		}
+	}
+	if tp.HWContextOf(8) != tp.HWContextOf(0) {
+		t.Fatal("thread 8 should share context 0")
+	}
+}

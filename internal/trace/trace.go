@@ -1,0 +1,110 @@
+// Package trace records simulation events into a bounded in-memory buffer
+// and renders them as a per-thread timeline. It exists for debugging and
+// teaching: `stsim -trace N` shows exactly how segments commit and abort,
+// when scans run, what they free, and where the scheduler preempts.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"stacktrack/internal/cost"
+	"stacktrack/internal/sched"
+)
+
+// Event is one recorded simulation event.
+type Event struct {
+	VTime cost.Cycles
+	Tid   int
+	Kind  sched.TraceKind
+	Arg   uint64
+}
+
+// Recorder implements sched.Tracer with a bounded buffer. Events past the
+// capacity are counted, not stored.
+type Recorder struct {
+	cap     int
+	events  []Event
+	dropped uint64
+}
+
+// NewRecorder creates a recorder holding at most capacity events.
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	return &Recorder{cap: capacity}
+}
+
+// TraceEvent implements sched.Tracer.
+func (r *Recorder) TraceEvent(t *sched.Thread, k sched.TraceKind, arg uint64) {
+	if len(r.events) >= r.cap {
+		r.dropped++
+		return
+	}
+	r.events = append(r.events, Event{VTime: t.VTime(), Tid: t.ID, Kind: k, Arg: arg})
+}
+
+// Events returns the recorded events in emission order.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Dropped returns how many events exceeded the buffer.
+func (r *Recorder) Dropped() uint64 { return r.dropped }
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Dump writes the timeline, one line per event:
+//
+//	vtime  tid  kind        arg
+func (r *Recorder) Dump(w io.Writer) error {
+	for _, e := range r.events {
+		var arg string
+		switch e.Kind {
+		case sched.TraceSegCommit:
+			arg = fmt.Sprintf("%d blocks", e.Arg)
+		case sched.TraceSegAbort:
+			arg = abortName(e.Arg)
+		case sched.TraceOpStart:
+			arg = fmt.Sprintf("op %d", e.Arg)
+		case sched.TraceScanStart:
+			arg = fmt.Sprintf("%d pending", e.Arg)
+		case sched.TraceScanEnd:
+			arg = fmt.Sprintf("%d freed", e.Arg)
+		case sched.TraceFree:
+			arg = fmt.Sprintf("%#x", e.Arg)
+		case sched.TraceSlowPath:
+			arg = fmt.Sprintf("pc %d", e.Arg)
+		default:
+			arg = fmt.Sprintf("%d", e.Arg)
+		}
+		if _, err := fmt.Fprintf(w, "%12d  t%-2d  %-10s  %s\n", e.VTime, e.Tid, e.Kind, arg); err != nil {
+			return err
+		}
+	}
+	if r.dropped > 0 {
+		if _, err := fmt.Fprintf(w, "(+%d events dropped past the %d-event buffer)\n", r.dropped, r.cap); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// abortName renders a mem.AbortReason arg without importing mem (the raw
+// values are part of the trace contract).
+func abortName(v uint64) string {
+	names := []string{"none", "conflict", "capacity", "preempt", "explicit", "unsupported"}
+	if int(v) < len(names) {
+		return names[v]
+	}
+	return fmt.Sprintf("reason-%d", v)
+}
+
+// Counts tallies events by kind (test and report support).
+func (r *Recorder) Counts() map[sched.TraceKind]int {
+	out := make(map[sched.TraceKind]int)
+	for _, e := range r.events {
+		out[e.Kind]++
+	}
+	return out
+}

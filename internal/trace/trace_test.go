@@ -1,0 +1,135 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"stacktrack/internal/bench"
+	"stacktrack/internal/cost"
+	"stacktrack/internal/sched"
+	"stacktrack/internal/trace"
+)
+
+func tracedRun(t *testing.T, events int) *bench.Result {
+	t.Helper()
+	res, err := bench.Run(bench.Config{
+		Structure:     bench.StructList,
+		Scheme:        bench.SchemeStackTrack,
+		Threads:       3,
+		InitialSize:   100,
+		KeyRange:      200,
+		MutatePct:     50,
+		WarmupCycles:  cost.FromSeconds(0.0002),
+		MeasureCycles: cost.FromSeconds(0.003),
+		MemWords:      1 << 20,
+		TraceEvents:   events,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRecorderCapturesLifecycle(t *testing.T) {
+	res := tracedRun(t, 1<<20)
+	r := res.Trace
+	if r == nil || r.Len() == 0 {
+		t.Fatal("no events recorded")
+	}
+	counts := r.Counts()
+	for _, k := range []sched.TraceKind{
+		sched.TraceOpStart, sched.TraceOpEnd, sched.TraceSegCommit,
+		sched.TraceScanStart, sched.TraceScanEnd, sched.TraceFree,
+	} {
+		if counts[k] == 0 {
+			t.Fatalf("no %v events recorded (counts: %v)", k, counts)
+		}
+	}
+	// Scan starts and ends must pair up.
+	if counts[sched.TraceScanStart] != counts[sched.TraceScanEnd] {
+		t.Fatalf("scan start/end mismatch: %d vs %d",
+			counts[sched.TraceScanStart], counts[sched.TraceScanEnd])
+	}
+	// Ops start at least as often as they end.
+	if counts[sched.TraceOpStart] < counts[sched.TraceOpEnd] {
+		t.Fatal("more op-end than op-start events")
+	}
+}
+
+func TestRecorderPerThreadMonotonic(t *testing.T) {
+	res := tracedRun(t, 1<<20)
+	last := map[int]cost.Cycles{}
+	for _, e := range res.Trace.Events() {
+		if e.VTime < last[e.Tid] {
+			t.Fatalf("thread %d time went backwards: %d after %d", e.Tid, e.VTime, last[e.Tid])
+		}
+		last[e.Tid] = e.VTime
+	}
+}
+
+func TestRecorderBounded(t *testing.T) {
+	res := tracedRun(t, 10)
+	r := res.Trace
+	if r.Len() > 10 {
+		t.Fatalf("recorded %d events past the cap", r.Len())
+	}
+	if r.Dropped() == 0 {
+		t.Fatal("expected drops with a 10-event buffer")
+	}
+}
+
+func TestDumpFormat(t *testing.T) {
+	res := tracedRun(t, 50)
+	var sb strings.Builder
+	if err := res.Trace.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "op-start") {
+		t.Fatalf("dump missing op-start:\n%s", out)
+	}
+	if !strings.Contains(out, "dropped") {
+		t.Fatal("dump should report dropped events")
+	}
+}
+
+func TestFreedEventsMatchStats(t *testing.T) {
+	res := tracedRun(t, 1<<20)
+	counts := res.Trace.Counts()
+	// Frees recorded during the traced run (which spans warmup+measure+
+	// drain) must be at least the measured-window count.
+	if uint64(counts[sched.TraceFree]) < res.Core.Freed {
+		t.Fatalf("trace saw %d frees, stats report %d in the window",
+			counts[sched.TraceFree], res.Core.Freed)
+	}
+}
+
+func TestRecorderDefaultCapacity(t *testing.T) {
+	r := trace.NewRecorder(0)
+	if r.Len() != 0 || r.Dropped() != 0 {
+		t.Fatal("fresh recorder not empty")
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.n++
+	if f.n > 2 {
+		return 0, errFail
+	}
+	return len(p), nil
+}
+
+var errFail = &writeError{}
+
+type writeError struct{}
+
+func (*writeError) Error() string { return "sink full" }
+
+func TestDumpPropagatesWriterErrors(t *testing.T) {
+	res := tracedRun(t, 50)
+	if err := res.Trace.Dump(&failWriter{}); err == nil {
+		t.Fatal("writer error swallowed")
+	}
+}

@@ -1,0 +1,56 @@
+// Package word defines the basic units of the simulated machine: word
+// addresses, cache-line geometry, pointer mark bits, and poison values.
+//
+// The simulated memory is an array of 64-bit words. An Addr is an index into
+// that array; address 0 is the null pointer and is never allocated. Cache
+// lines are LineWords words (64 bytes) wide, and conflict detection in
+// internal/mem operates at line granularity.
+//
+// Data-structure code stores pointers (Addrs) in simulated memory words.
+// Because the allocator aligns every object to AllocAlign words, the low bit
+// of a valid object address is always zero, and lock-free algorithms (Harris
+// list, skip list) use it as a logical-deletion mark, exactly as C
+// implementations use the low bit of an aligned pointer.
+package word
+
+// Addr is a simulated memory address: an index into the flat word array.
+// Addr 0 is the null pointer.
+type Addr uint64
+
+// Null is the null simulated pointer.
+const Null Addr = 0
+
+const (
+	// LineShift is log2 of the number of words per cache line.
+	LineShift = 3
+	// LineWords is the number of 64-bit words in a cache line (64 bytes).
+	LineWords = 1 << LineShift
+	// AllocAlign is the allocation alignment in words. Keeping it at 2
+	// guarantees bit 0 of every object address is free for marking.
+	AllocAlign = 2
+)
+
+// Line returns the cache-line index containing address a.
+func Line(a Addr) uint64 { return uint64(a) >> LineShift }
+
+// MarkBit is the low-order tag bit used by lock-free algorithms to mark a
+// pointer as logically deleted.
+const MarkBit uint64 = 1
+
+// Mark returns the word encoding of pointer a with the deletion mark set.
+func Mark(a Addr) uint64 { return uint64(a) | MarkBit }
+
+// IsMarked reports whether the encoded pointer word w carries the mark bit.
+func IsMarked(w uint64) bool { return w&MarkBit != 0 }
+
+// Ptr strips the mark bit from an encoded pointer word, yielding the address.
+func Ptr(w uint64) Addr { return Addr(w &^ MarkBit) }
+
+// Poison is the pattern written over freed memory by the allocator in debug
+// mode. Reading it back from a data structure indicates a use-after-free.
+// The value has its low bit set so it can never be mistaken for a valid
+// aligned pointer.
+const Poison uint64 = 0xDEADBEEFDEADBEEF
+
+// IsPoison reports whether w is the freed-memory poison pattern.
+func IsPoison(w uint64) bool { return w == Poison }

@@ -1,0 +1,93 @@
+package word
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMarkRoundTrip(t *testing.T) {
+	addrs := []Addr{0, 2, 4, 1 << 20, 1<<40 - 2}
+	for _, a := range addrs {
+		w := Mark(a)
+		if !IsMarked(w) {
+			t.Errorf("Mark(%#x) not marked", uint64(a))
+		}
+		if Ptr(w) != a {
+			t.Errorf("Ptr(Mark(%#x)) = %#x", uint64(a), uint64(Ptr(w)))
+		}
+	}
+}
+
+func TestUnmarkedPassThrough(t *testing.T) {
+	a := Addr(0x1234) & ^Addr(1)
+	if IsMarked(uint64(a)) {
+		t.Fatal("aligned address should not read as marked")
+	}
+	if Ptr(uint64(a)) != a {
+		t.Fatalf("Ptr of plain address changed it")
+	}
+}
+
+func TestMarkRoundTripProperty(t *testing.T) {
+	f := func(raw uint64) bool {
+		a := Addr(raw &^ MarkBit) // aligned object address
+		return Ptr(Mark(a)) == a && IsMarked(Mark(a)) && !IsMarked(uint64(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLineGeometry(t *testing.T) {
+	if LineWords != 8 {
+		t.Fatalf("LineWords = %d, want 8 (64-byte lines)", LineWords)
+	}
+	cases := []struct {
+		a    Addr
+		line uint64
+	}{
+		{0, 0}, {7, 0}, {8, 1}, {15, 1}, {16, 2}, {1 << 20, 1 << 17},
+	}
+	for _, c := range cases {
+		if Line(c.a) != c.line {
+			t.Errorf("Line(%d) = %d, want %d", c.a, Line(c.a), c.line)
+		}
+	}
+}
+
+func TestLineProperty(t *testing.T) {
+	f := func(raw uint64) bool {
+		a := Addr(raw)
+		l := Line(a)
+		// All words of a line map to it; neighbours across the boundary
+		// do not.
+		base := Addr(l << LineShift)
+		for i := Addr(0); i < LineWords; i++ {
+			if Line(base+i) != l {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoison(t *testing.T) {
+	if !IsPoison(Poison) {
+		t.Fatal("Poison not detected")
+	}
+	if IsPoison(0) || IsPoison(Poison-1) {
+		t.Fatal("false poison detection")
+	}
+	if Poison&MarkBit == 0 {
+		t.Fatal("poison must have the mark bit set so it can never look like a valid aligned pointer")
+	}
+}
+
+func TestAllocAlignKeepsMarkBitFree(t *testing.T) {
+	if AllocAlign%2 != 0 {
+		t.Fatalf("AllocAlign = %d must be even", AllocAlign)
+	}
+}

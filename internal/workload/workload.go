@@ -1,0 +1,100 @@
+// Package workload generates the benchmark workloads of the paper's §6:
+// key-value operation mixes with a given mutation percentage over a key
+// range, and enqueue/dequeue/peek mixes for the queue. All randomness is
+// seeded, so a workload is reproducible bit-for-bit.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"stacktrack/internal/rng"
+)
+
+// SetMix describes a set-structure workload (list, skip list, hash).
+type SetMix struct {
+	// KeyRange draws keys uniformly from [1, KeyRange].
+	KeyRange uint64
+	// MutatePct is the percentage of operations that mutate, split evenly
+	// between inserts and deletes (the paper uses 20%).
+	MutatePct int
+}
+
+// SetOp is one generated set operation.
+type SetOp uint8
+
+// Set operation kinds.
+const (
+	SetContains SetOp = iota
+	SetInsert
+	SetDelete
+)
+
+// Next draws the next operation and key.
+func (m SetMix) Next(r *rng.Rand) (SetOp, uint64) {
+	key := 1 + r.Uint64n(m.KeyRange)
+	p := r.Intn(100)
+	switch {
+	case p < m.MutatePct/2:
+		return SetInsert, key
+	case p < m.MutatePct:
+		return SetDelete, key
+	default:
+		return SetContains, key
+	}
+}
+
+// QueueMix describes the queue workload. The paper's "20% mutations" is
+// interpreted as 10% enqueues, 10% dequeues, 80% peeks (see DESIGN.md §5).
+type QueueMix struct {
+	MutatePct int
+	ValRange  uint64
+}
+
+// QueueOp is one generated queue operation.
+type QueueOp uint8
+
+// Queue operation kinds.
+const (
+	QueuePeek QueueOp = iota
+	QueueEnqueue
+	QueueDequeue
+)
+
+// Next draws the next queue operation and value.
+func (m QueueMix) Next(r *rng.Rand) (QueueOp, uint64) {
+	p := r.Intn(100)
+	switch {
+	case p < m.MutatePct/2:
+		return QueueEnqueue, 1 + r.Uint64n(m.ValRange)
+	case p < m.MutatePct:
+		return QueueDequeue, 0
+	default:
+		return QueuePeek, 0
+	}
+}
+
+// SampleKeys deterministically draws n distinct keys from [1, keyRange] and
+// returns them sorted ascending — the prefill set. It panics if n exceeds
+// the key range (a configuration bug).
+func SampleKeys(seed uint64, n int, keyRange uint64) []uint64 {
+	if uint64(n) > keyRange {
+		panic(fmt.Sprintf("workload: cannot sample %d distinct keys from range %d", n, keyRange))
+	}
+	r := rng.New(seed)
+	// Floyd's algorithm for a uniform distinct sample.
+	chosen := make(map[uint64]struct{}, n)
+	for j := keyRange - uint64(n) + 1; j <= keyRange; j++ {
+		k := 1 + r.Uint64n(j)
+		if _, dup := chosen[k]; dup {
+			k = j
+		}
+		chosen[k] = struct{}{}
+	}
+	keys := make([]uint64, 0, n)
+	for k := range chosen {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"stacktrack/internal/rng"
+)
+
+func TestSetMixProportions(t *testing.T) {
+	mix := SetMix{KeyRange: 1000, MutatePct: 20}
+	r := rng.New(1)
+	counts := map[SetOp]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		op, key := mix.Next(r)
+		if key < 1 || key > 1000 {
+			t.Fatalf("key %d out of range", key)
+		}
+		counts[op]++
+	}
+	ins := float64(counts[SetInsert]) / n
+	del := float64(counts[SetDelete]) / n
+	rd := float64(counts[SetContains]) / n
+	if ins < 0.08 || ins > 0.12 || del < 0.08 || del > 0.12 || rd < 0.77 || rd > 0.83 {
+		t.Fatalf("mix off: ins=%.3f del=%.3f read=%.3f", ins, del, rd)
+	}
+}
+
+func TestQueueMixProportions(t *testing.T) {
+	mix := QueueMix{MutatePct: 20, ValRange: 10}
+	r := rng.New(2)
+	counts := map[QueueOp]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		op, _ := mix.Next(r)
+		counts[op]++
+	}
+	if f := float64(counts[QueuePeek]) / n; f < 0.77 || f > 0.83 {
+		t.Fatalf("peek fraction %.3f", f)
+	}
+}
+
+func TestSampleKeysDistinctSortedInRange(t *testing.T) {
+	keys := SampleKeys(7, 1000, 2000)
+	if len(keys) != 1000 {
+		t.Fatalf("got %d keys", len(keys))
+	}
+	seen := map[uint64]bool{}
+	for i, k := range keys {
+		if k < 1 || k > 2000 {
+			t.Fatalf("key %d out of range", k)
+		}
+		if seen[k] {
+			t.Fatalf("duplicate key %d", k)
+		}
+		seen[k] = true
+		if i > 0 && keys[i-1] >= k {
+			t.Fatal("keys not sorted")
+		}
+	}
+}
+
+func TestSampleKeysDeterministic(t *testing.T) {
+	a := SampleKeys(9, 100, 500)
+	b := SampleKeys(9, 100, 500)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("SampleKeys not deterministic")
+		}
+	}
+}
+
+func TestSampleKeysFullRange(t *testing.T) {
+	keys := SampleKeys(3, 10, 10)
+	for i, k := range keys {
+		if k != uint64(i+1) {
+			t.Fatalf("full-range sample must be 1..10, got %v", keys)
+		}
+	}
+}
+
+func TestSampleKeysPanicsWhenOverdrawn(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SampleKeys(1, 11, 10)
+}
+
+func TestSampleKeysProperty(t *testing.T) {
+	f := func(seed uint64, nRaw, rangeRaw uint16) bool {
+		rangeN := uint64(rangeRaw)%500 + 1
+		n := int(uint64(nRaw) % (rangeN + 1))
+		keys := SampleKeys(seed, n, rangeN)
+		if len(keys) != n {
+			return false
+		}
+		for i, k := range keys {
+			if k < 1 || k > rangeN {
+				return false
+			}
+			if i > 0 && keys[i-1] >= k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
