@@ -1,0 +1,150 @@
+// Command stfuzz explores schedules of the simulated reclamation schemes
+// looking for oracle violations: poison (use-after-free) reads, conservation
+// breaks, simulated crashes, and linearizability failures. It is the
+// command-line front end to internal/explore.
+//
+// Explore mode (default) fans host workers out over workload seeds under a
+// wall-clock/run budget and stops at the first failing schedule:
+//
+//	stfuzz -ds skiplist -scheme hp -strategy pct -depth 3 -budget 30s -workers 4
+//
+// A failure is reported as a narrative and can be written out as a schedule
+// artifact (-out crash.schedule), optionally ddmin-minimized first
+// (-minimize). Replay mode re-runs a saved artifact instead of exploring:
+//
+//	stfuzz -replay crash.schedule -minimize
+//
+// Exit status: 0 when no failure was found, 1 when one was (inverted by
+// -expect-failure, for CI jobs that assert a seeded bug is caught), 2 on
+// configuration errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"stacktrack/internal/cost"
+	"stacktrack/internal/explore"
+)
+
+func main() {
+	var (
+		ds        = flag.String("ds", "list", "structure: list|skiplist|queue|hash|rbtree")
+		scheme    = flag.String("scheme", "stacktrack", "scheme: stacktrack|epoch|hp|dta|refcount|unsafe|leak")
+		threads   = flag.Int("threads", 0, "simulated threads (0 = default)")
+		seed      = flag.Uint64("seed", 1, "first workload seed of the campaign")
+		initial   = flag.Int("initial", 0, "initial structure size (0 = default)")
+		keyrange  = flag.Uint64("keyrange", 0, "key range (0 = 2x initial)")
+		mutate    = flag.Int("mutate", 0, "mutation percentage (0 = default)")
+		measureMs = flag.Float64("measure-ms", 0, "virtual measurement window per run (ms, 0 = default)")
+		warmupMs  = flag.Float64("warmup-ms", -1, "virtual warmup per run (ms, -1 = default)")
+
+		strategy    = flag.String("strategy", explore.StrategyRandom, "scheduling strategy: vtime|random|pct")
+		depth       = flag.Int("depth", 0, "PCT depth d (0 = default)")
+		preemptProb = flag.Float64("preempt-prob", 0, "random walk forced-preemption probability (0 = default)")
+		checkLin    = flag.Bool("check-lin", false, "enable the per-key linearizability oracle")
+
+		budget  = flag.Duration("budget", 30*time.Second, "wall-clock exploration budget")
+		maxRuns = flag.Int("max-runs", 0, "stop after this many runs (0 = unlimited)")
+		workers = flag.Int("workers", 1, "parallel exploration workers (0 = GOMAXPROCS)")
+
+		replay     = flag.String("replay", "", "replay this schedule artifact instead of exploring")
+		minimize   = flag.Bool("minimize", false, "ddmin-minimize the failing schedule before reporting")
+		minRuns    = flag.Int("min-runs", 0, "cap ddmin oracle re-runs (0 = default)")
+		out        = flag.String("out", "", "write the (minimized) failing schedule to this file")
+		traceTail  = flag.Int("trace", 48, "events of trace tail in the failure narrative")
+		expectFail = flag.Bool("expect-failure", false, "exit 0 iff a failure WAS found (CI seeded-bug jobs)")
+	)
+	flag.Parse()
+
+	if *replay != "" {
+		log, err := explore.LoadLog(*replay)
+		if err != nil {
+			fatal(err)
+		}
+		report(finish(log, *minimize, *minRuns, *out, *traceTail), *expectFail)
+		return
+	}
+
+	cfg := explore.RunConfig{
+		Structure: *ds, Scheme: *scheme, Threads: *threads, Seed: *seed,
+		InitialSize: *initial, KeyRange: *keyrange, MutatePct: *mutate,
+		Strategy: *strategy, Depth: *depth, PreemptProb: *preemptProb,
+		CheckLin: *checkLin,
+	}
+	if *measureMs > 0 {
+		cfg.MeasureCycles = cost.FromSeconds(*measureMs / 1000)
+	}
+	if *warmupMs >= 0 {
+		cfg.WarmupCycles = cost.FromSeconds(*warmupMs / 1000)
+	}
+
+	res, err := explore.Explore(cfg, *workers, explore.Budget{Wall: *budget, MaxRuns: *maxRuns})
+	if err != nil {
+		fatal(err)
+	}
+	rate := float64(res.Runs) / res.Elapsed.Seconds()
+	fmt.Printf("stfuzz: %d runs in %.1fs (%.0f runs/s, %d workers, strategy %s)\n",
+		res.Runs, res.Elapsed.Seconds(), rate, *workers, *strategy)
+	if res.Failure == nil {
+		fmt.Println("stfuzz: no oracle violations found")
+		report(false, *expectFail)
+		return
+	}
+	fmt.Printf("stfuzz: seed %d fails: %s\n\n", res.Failure.Seed, res.Failure.Verdict)
+	report(finish(res.Failure.Log, *minimize, *minRuns, *out, *traceTail), *expectFail)
+}
+
+// finish minimizes (optionally), narrates, and saves a schedule log.
+// It reports whether the log still fails.
+func finish(log *explore.Log, minimize bool, minRuns int, out string, tail int) bool {
+	if minimize {
+		min, err := explore.Minimize(log, explore.MinimizeOptions{
+			MaxRuns:    minRuns,
+			SameOracle: true,
+			Progress: func(runs, size int) {
+				fmt.Fprintf(os.Stderr, "stfuzz: ddmin %d runs, %d decisions left\n", runs, size)
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("stfuzz: ddmin %d -> %d decisions in %d runs (1-minimal: %v)\n\n",
+			min.FromDecisions, min.ToDecisions, min.Runs, min.OneMinimal)
+		log = min.Log
+	}
+	outc, err := explore.Narrate(os.Stdout, log, tail)
+	if err != nil {
+		fatal(err)
+	}
+	if out != "" {
+		if err := log.WriteFile(out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nstfuzz: schedule written to %s\n", out)
+	}
+	return outc.Verdict.Failed
+}
+
+// report exits with the conventional status: failures are exit 1, unless
+// the caller asserted a seeded bug must be found (-expect-failure).
+func report(failed, expectFail bool) {
+	if expectFail {
+		if failed {
+			os.Exit(0)
+		}
+		fmt.Fprintln(os.Stderr, "stfuzz: expected a failure, found none")
+		os.Exit(1)
+	}
+	if failed {
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "stfuzz: %v\n", err)
+	os.Exit(2)
+}

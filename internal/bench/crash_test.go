@@ -106,3 +106,53 @@ func TestCrashedThreadLooksBusy(t *testing.T) {
 		t.Fatal("survivors made no progress")
 	}
 }
+
+// TestCrashOversubscribedMidScan: 16 threads on 8 hardware contexts, scans
+// triggered on every single retire (MaxFree=1), and two threads killed
+// mid-operation. Victims are the highest-numbered threads, which under 2x
+// oversubscription are *descheduled* waiters half the time — so this drives
+// the crash paths the scheduler-level tests pin, through the full scheme
+// stack. StackTrack must stay poison-free and keep reclaiming; the scan
+// machinery must not wedge on the dead threads' frozen stacks.
+func TestCrashOversubscribedMidScan(t *testing.T) {
+	cfg := smokeCfg(StructList, SchemeStackTrack, 16)
+	cfg.MeasureCycles = cost.FromSeconds(0.008)
+	cfg.CrashThreads = 2
+	cfg.Core.MaxFree = 1
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UAFReads != 0 {
+		t.Fatalf("%d use-after-free reads under oversubscribed crash", res.UAFReads)
+	}
+	if res.Core.Freed == 0 {
+		t.Fatal("reclamation stopped entirely after the crashes")
+	}
+	if res.Core.Scans == 0 {
+		t.Fatal("no scans ran despite MaxFree=1")
+	}
+	// Two dead stacks pin only their own locals.
+	unreclaimed := res.LeakedObjects + uint64(res.PendingFrees)
+	if unreclaimed > 32 {
+		t.Fatalf("unreclaimed = %d; should be bounded by the dead threads' locals", unreclaimed)
+	}
+}
+
+// TestCrashOversubscribedHazards: the same oversubscribed double-crash
+// against hazard pointers, which must also never touch freed memory.
+func TestCrashOversubscribedHazards(t *testing.T) {
+	cfg := smokeCfg(StructList, SchemeHazards, 16)
+	cfg.MeasureCycles = cost.FromSeconds(0.008)
+	cfg.CrashThreads = 2
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UAFReads != 0 {
+		t.Fatalf("%d use-after-free reads under oversubscribed crash", res.UAFReads)
+	}
+	if res.Ops == 0 {
+		t.Fatal("survivors made no progress")
+	}
+}

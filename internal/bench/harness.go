@@ -73,6 +73,21 @@ type Config struct {
 	// Result.Trace.
 	TraceEvents int
 
+	// RingTrace keeps the *last* TraceEvents events instead of the first,
+	// so the failure tail of a long run stays visible (schedule fuzzing).
+	RingTrace bool
+
+	// Policy, when non-nil, overrides the scheduler's built-in
+	// virtual-time scheduling rule (see sched.Policy). internal/explore
+	// supplies strategies and record/replay wrappers.
+	Policy sched.Policy
+
+	// History, when true, records every completed set operation's key,
+	// kind, result, and real-time interval into Result.Histories — the
+	// input to the per-key linearizability checker. Ignored for the
+	// queue and rbtree structures.
+	History bool
+
 	// CrashThreads kills this many threads (the highest-numbered ones)
 	// mid-operation after warmup, reproducing the paper's thread-crash
 	// failure mode: quiescence-based schemes stop reclaiming entirely,
@@ -173,6 +188,10 @@ type Result struct {
 
 	// Trace holds recorded simulation events when Config.TraceEvents > 0.
 	Trace *trace.Recorder
+
+	// Histories holds each key's completed operations in issue order when
+	// Config.History is set (set structures only).
+	Histories map[uint64][]KeyOp
 }
 
 // instance bundles the live simulation objects of one run.
@@ -196,6 +215,9 @@ type instance struct {
 	// op counters, classified on completion
 	succIns, succDel, hits uint64
 	uafReads               uint64
+
+	// histories: per-key completed operations when Config.History is set.
+	histories map[uint64][]KeyOp
 }
 
 // Run executes one benchmark configuration end to end.
@@ -220,7 +242,14 @@ func newInstance(cfg Config) (*instance, error) {
 	in.sc = sched.NewScheduler(in.m, cfg.Topology, cfg.Seed)
 
 	if cfg.TraceEvents > 0 {
-		in.tracer = trace.NewRecorder(cfg.TraceEvents)
+		if cfg.RingTrace {
+			in.tracer = trace.NewRingRecorder(cfg.TraceEvents)
+		} else {
+			in.tracer = trace.NewRecorder(cfg.TraceEvents)
+		}
+	}
+	if cfg.Policy != nil {
+		in.sc.SetPolicy(cfg.Policy)
 	}
 
 	// Threads first: their stacks and register files are static regions.
@@ -269,7 +298,67 @@ func newInstance(cfg Config) (*instance, error) {
 		in.drivers = append(in.drivers, d)
 		in.sc.AddThread(t, d)
 	}
+	if cfg.History && isSetStructure(cfg.Structure) {
+		in.collectHistories()
+	}
 	return in, nil
+}
+
+// isSetStructure reports whether the structure is a key set (the shapes the
+// per-key linearizability checker understands).
+func isSetStructure(structure string) bool {
+	switch structure {
+	case StructList, StructSkipList, StructHash:
+		return true
+	}
+	return false
+}
+
+// collectHistories wraps every driver so each completed operation lands in
+// in.histories with its key, kind, result, and real-time interval.
+func (in *instance) collectHistories() {
+	in.histories = make(map[uint64][]KeyOp)
+	for _, d := range in.drivers {
+		d := d
+		var start cost.Cycles
+		origNext, origDone := d.Next, d.OnDone
+		d.Next = func(th *sched.Thread) (*prog.Op, [3]uint64, bool) {
+			start = th.VTime()
+			return origNext(th)
+		}
+		d.OnDone = func(th *sched.Thread, o *prog.Op, result uint64) {
+			var kind KeyOpKind
+			switch o.ID {
+			case ds.OpInsert:
+				kind = KInsert
+			case ds.OpDelete:
+				kind = KDelete
+			default:
+				kind = KContains
+			}
+			key := th.Reg(prog.RegArg1)
+			in.histories[key] = append(in.histories[key], KeyOp{
+				Kind: kind, OK: result != 0, Start: start, End: th.VTime(),
+			})
+			origDone(th, o, result)
+		}
+	}
+}
+
+// InitialKeys returns the set of keys a set-structure run is seeded with —
+// the initial presence map for per-key linearizability checking. It
+// replicates the harness's own prefill sampling, so it is valid for any
+// Config with the same Seed/InitialSize/KeyRange.
+func InitialKeys(cfg Config) map[uint64]bool {
+	cfg = cfg.WithDefaults()
+	out := make(map[uint64]bool, cfg.InitialSize)
+	if !isSetStructure(cfg.Structure) {
+		return out
+	}
+	for _, k := range workload.SampleKeys(cfg.Seed+1, cfg.InitialSize, cfg.KeyRange) {
+		out[k] = true
+	}
+	return out
 }
 
 // runAll executes the warmup, measurement, and drain phases.
@@ -280,7 +369,11 @@ func (in *instance) runAll() (*Result, error) {
 	in.sc.Run(cfg.WarmupCycles)
 
 	// Crash injection: kill the highest-numbered threads mid-operation,
-	// so their stacks pin references forever.
+	// so their stacks pin references forever. The wait for a mid-operation
+	// moment can run long when the victim is a descheduled waiter on an
+	// oversubscribed context (its aborted transactions keep resetting the
+	// activity word), so the measurement window below starts from wherever
+	// the wait left the clock rather than a fixed horizon.
 	horizon := cfg.WarmupCycles
 	for i := 0; i < cfg.CrashThreads && i < cfg.Threads-1; i++ {
 		tid := cfg.Threads - 1 - i
@@ -302,7 +395,7 @@ func (in *instance) runAll() (*Result, error) {
 	for _, t := range in.threads {
 		opsBefore += t.OpsDone
 	}
-	in.sc.Run(cfg.WarmupCycles + cfg.MeasureCycles)
+	in.sc.Run(horizon + cfg.MeasureCycles)
 
 	res := &Result{Config: cfg}
 	for _, t := range in.threads {
@@ -321,7 +414,7 @@ func (in *instance) runAll() (*Result, error) {
 
 	// Drain: finish in-flight operations, then let the scheme reclaim.
 	in.stopping = true
-	in.sc.Run(cfg.WarmupCycles + cfg.MeasureCycles + cost.FromSeconds(1.0))
+	in.sc.Run(horizon + cfg.MeasureCycles + cost.FromSeconds(1.0))
 	for range [4]int{} {
 		for _, t := range in.threads {
 			in.scheme.Drain(t)
@@ -341,6 +434,7 @@ func (in *instance) runAll() (*Result, error) {
 	}
 	res.FinalCount = int(res.BaselineLive)
 	res.Trace = in.tracer
+	res.Histories = in.histories
 	return res, nil
 }
 

@@ -79,6 +79,50 @@ func TestCheckerInconclusiveOnHugeHistories(t *testing.T) {
 	}
 }
 
+// TestConfigHistoryCollection: the Config.History knob must capture every
+// completed set operation with a sane interval, and the captured histories
+// must check out linearizable on a correct scheme.
+func TestConfigHistoryCollection(t *testing.T) {
+	cfg := smokeCfg(StructList, SchemeStackTrack, 4)
+	cfg.History = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Histories) == 0 {
+		t.Fatal("History=true collected nothing")
+	}
+	var total uint64
+	for k, ops := range res.Histories {
+		for _, op := range ops {
+			total++
+			if op.End < op.Start {
+				t.Fatalf("key %d: interval ends before it starts: %+v", k, op)
+			}
+		}
+	}
+	// Histories span warmup+measure+drain; the measured window is a
+	// subset, so the total can't be smaller.
+	if total < res.Ops {
+		t.Fatalf("histories hold %d ops, fewer than the %d measured", total, res.Ops)
+	}
+	initial := InitialKeys(cfg)
+	checked := 0
+	for k, ops := range res.Histories {
+		ok, conclusive := CheckKeyLinearizable(initial[k], ops)
+		if !conclusive {
+			continue
+		}
+		checked++
+		if !ok {
+			t.Fatalf("key %d history not linearizable", k)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no conclusive key histories")
+	}
+}
+
 // --- End-to-end linearizability of the structures ------------------------------
 
 // TestSetLinearizability runs high-churn workloads and checks every key's

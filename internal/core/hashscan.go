@@ -170,7 +170,6 @@ func (s *hashedScanState) finish(t *sched.Thread) {
 			ts.freeSet = append(ts.freeSet, p)
 			continue
 		}
-		t.Trace(sched.TraceFree, uint64(p))
 		t.FreeNow(p)
 		ts.stats.Freed++
 		freed++

@@ -240,7 +240,6 @@ func (s *scanState) markFound(t *sched.Thread) {
 // finishPtr completes the current pointer after every victim was inspected
 // without a hit: the object is provably unreferenced and is freed.
 func (s *scanState) finishPtr(t *sched.Thread) {
-	t.Trace(sched.TraceFree, uint64(s.ptrs[s.pi]))
 	t.FreeNow(s.ptrs[s.pi])
 	s.st.state(t).stats.Freed++
 	s.freed++

@@ -1,0 +1,123 @@
+package explore
+
+// The parallel exploration driver. Every simulation is an independent,
+// single-goroutine deterministic world, so exploring a seed space is
+// embarrassingly parallel: a pool of host goroutines drains an atomic seed
+// counter under a shared wall-clock/run budget and stops on the first
+// failure (lowest-seed failure wins when several arrive together, keeping
+// the driver's output deterministic for a fixed seed range even under
+// racing workers).
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Budget bounds one exploration campaign. Zero fields mean unlimited; a
+// fully zero budget still runs at most one pass of MaxRuns==Seeds... use
+// at least one bound.
+type Budget struct {
+	// Wall stops issuing new runs after this much wall-clock time.
+	Wall time.Duration
+	// MaxRuns stops after this many simulations.
+	MaxRuns int
+}
+
+// Failure describes the first (lowest-seed) failing run of a campaign.
+type Failure struct {
+	Seed    uint64
+	Verdict Verdict
+	Log     *Log
+}
+
+// CampaignResult summarizes one Explore call.
+type CampaignResult struct {
+	Runs    int
+	Elapsed time.Duration
+	Failure *Failure // nil when every run within budget passed
+}
+
+// Explore fans workers host goroutines out over seeds cfg.Seed,
+// cfg.Seed+1, ... — each run records its schedule, so the returned failure
+// is immediately replayable and minimizable. workers <= 0 uses GOMAXPROCS.
+func Explore(cfg RunConfig, workers int, budget Budget) (*CampaignResult, error) {
+	cfg = cfg.WithDefaults()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Validate the configuration once, up front, so workers can treat
+	// errors as fatal bugs instead of racing to report them.
+	if _, err := NewStrategy(cfg); err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	deadline := time.Time{}
+	if budget.Wall > 0 {
+		deadline = start.Add(budget.Wall)
+	}
+
+	var (
+		next     atomic.Uint64 // next seed offset to claim
+		runs     atomic.Int64
+		stop     atomic.Bool
+		mu       sync.Mutex
+		firstErr error
+		fail     *Failure
+		wg       sync.WaitGroup
+	)
+	next.Store(cfg.Seed)
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					return
+				}
+				n := runs.Add(1)
+				if budget.MaxRuns > 0 && n > int64(budget.MaxRuns) {
+					return
+				}
+				seed := next.Add(1) - 1
+				c := cfg
+				c.Seed = seed
+				c.StratSeed = 0 // re-derive per seed
+				out, err := Record(c.WithDefaults())
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					stop.Store(true)
+					mu.Unlock()
+					return
+				}
+				if out.Verdict.Failed {
+					if fail == nil || seed < fail.Seed {
+						fail = &Failure{Seed: seed, Verdict: out.Verdict, Log: out.Log}
+					}
+					stop.Store(true)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	res := &CampaignResult{Elapsed: time.Since(start), Failure: fail}
+	res.Runs = int(runs.Load())
+	if budget.MaxRuns > 0 && res.Runs > budget.MaxRuns {
+		res.Runs = budget.MaxRuns
+	}
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

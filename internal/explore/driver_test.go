@@ -1,0 +1,91 @@
+package explore
+
+import (
+	"testing"
+	"time"
+)
+
+func TestExploreFindsSeededFailure(t *testing.T) {
+	cfg := raceCfg("list", StrategyRandom, 1)
+	res, err := Explore(cfg, 1, Budget{MaxRuns: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failure == nil {
+		t.Fatalf("no failure in %d runs", res.Runs)
+	}
+	// With one worker seeds are visited in order, so the reported failure is
+	// the lowest failing seed — and its log must replay to the same verdict.
+	rep, _, err := ReplayLog(res.Failure.Log, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != res.Failure.Verdict {
+		t.Fatalf("campaign failure does not replay: campaign %s, replay %s",
+			res.Failure.Verdict, rep.Verdict)
+	}
+}
+
+func TestExploreParallelMatchesSerial(t *testing.T) {
+	cfg := raceCfg("list", StrategyRandom, 1)
+	serial, err := Explore(cfg, 1, Budget{MaxRuns: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Failure == nil {
+		t.Fatal("serial campaign found nothing")
+	}
+	par, err := Explore(cfg, 4, Budget{MaxRuns: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Failure == nil {
+		t.Fatal("parallel campaign found nothing")
+	}
+	// Parallel workers race past the stop flag, so they may surface a higher
+	// seed — but any failure they report must be a real, replayable one.
+	rep, _, err := ReplayLog(par.Failure.Log, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Verdict.Failed {
+		t.Fatalf("parallel campaign failure does not replay: %s", rep.Verdict)
+	}
+}
+
+func TestExploreRespectsRunBudget(t *testing.T) {
+	cfg := tinyCfg("list", "stacktrack", StrategyRandom, 1)
+	res, err := Explore(cfg, 2, Budget{MaxRuns: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs > 5 {
+		t.Fatalf("budget of 5 runs, campaign made %d", res.Runs)
+	}
+	if res.Failure != nil {
+		t.Fatalf("safe scheme failed: %s", res.Failure.Verdict)
+	}
+}
+
+func TestExploreRespectsWallBudget(t *testing.T) {
+	cfg := tinyCfg("list", "stacktrack", StrategyRandom, 1)
+	start := time.Now()
+	res, err := Explore(cfg, 2, Budget{Wall: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generous bound: the deadline stops new runs; in-flight ones finish.
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("50ms wall budget ran for %v (%d runs)", el, res.Runs)
+	}
+	if res.Runs == 0 {
+		t.Fatal("campaign made no runs at all")
+	}
+}
+
+func TestExploreRejectsBadStrategy(t *testing.T) {
+	cfg := tinyCfg("list", "stacktrack", "no-such-strategy", 1)
+	if _, err := Explore(cfg, 2, Budget{MaxRuns: 2}); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+}

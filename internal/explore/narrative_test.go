@@ -1,0 +1,50 @@
+package explore
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNarrateFailingSchedule(t *testing.T) {
+	out, err := Record(raceCfg("list", StrategyRandom, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Verdict.Failed {
+		t.Fatal("calibration drifted: seed 6 no longer fails")
+	}
+	min, err := Minimize(out.Log, MinimizeOptions{MaxRuns: 400, SameOracle: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	rep, err := Narrate(&sb, min.Log, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Verdict.Failed {
+		t.Fatalf("narrated replay passed: %s", rep.Verdict)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"schedule: list/unsafe",
+		"verdict: FAIL[" + out.Verdict.Oracle + "]",
+		"decisions:",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("narrative missing %q:\n%s", want, text)
+		}
+	}
+	// A minimized schedule-dependent failure has surviving deviations, and
+	// each one should be narrated.
+	if len(rep.Applied) == 0 {
+		t.Fatal("no deviations fired during the narrated replay")
+	}
+	if !strings.Contains(text, "instead of") && !strings.Contains(text, "force-preempt") {
+		t.Errorf("no deviation lines in narrative:\n%s", text)
+	}
+	if !strings.Contains(text, "trace tail") {
+		t.Errorf("no trace tail in narrative:\n%s", text)
+	}
+}

@@ -1,0 +1,104 @@
+package explore
+
+// Invariant oracles: every explored run is judged against the full set, and
+// the first violated oracle names the failure. All oracles are pure
+// functions of the (deterministic) run result, so a failing verdict
+// replays as reliably as the schedule itself.
+
+import (
+	"fmt"
+
+	"stacktrack/internal/bench"
+)
+
+// Oracle names reported in Verdict.Oracle.
+const (
+	OraclePoison       = "poison"          // a validated load observed freed memory
+	OracleConservation = "conservation"    // final size != initial + inserts - deletes
+	OracleCrash        = "crash"           // simulated segfault: double free, wild pointer
+	OracleLinearizable = "linearizability" // a key's completed ops admit no legal order
+	OracleLeak         = "leak"            // reserved; not judged by default
+)
+
+// Verdict is one run's judgement.
+type Verdict struct {
+	Failed bool   `json:"failed"`
+	Oracle string `json:"oracle,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+func (v Verdict) String() string {
+	if !v.Failed {
+		return "ok"
+	}
+	return fmt.Sprintf("FAIL[%s] %s", v.Oracle, v.Detail)
+}
+
+// judge evaluates every oracle against a completed run. crash is the
+// recovered panic value of the run, if any (the simulated machine panics on
+// double frees and wild pointers — the moral equivalent of a segfault).
+func judge(cfg RunConfig, res *bench.Result, crash any) Verdict {
+	if crash != nil {
+		return Verdict{Failed: true, Oracle: OracleCrash, Detail: fmt.Sprint(crash)}
+	}
+	if res.UAFReads > 0 {
+		return Verdict{
+			Failed: true, Oracle: OraclePoison,
+			Detail: fmt.Sprintf("%d poison (use-after-free) reads", res.UAFReads),
+		}
+	}
+	if v := judgeConservation(cfg, res); v.Failed {
+		return v
+	}
+	if v := judgeLinearizable(cfg, res); v.Failed {
+		return v
+	}
+	return Verdict{}
+}
+
+// judgeConservation checks the structure's element count against the exact
+// ledger of successful inserts and deletes. A crashed thread may die
+// mid-insert/delete, legitimately smearing the count by one per crashed
+// thread; the tolerance accounts for that.
+func judgeConservation(cfg RunConfig, res *bench.Result) Verdict {
+	var want, got, slack int
+	switch cfg.Structure {
+	case bench.StructQueue:
+		want = cfg.QueuePrefill + int(res.TotalInserts) - int(res.TotalDeletes) + 1
+		got = int(res.BaselineLive)
+	case bench.StructRBTree:
+		return Verdict{} // search-only workload: nothing to conserve
+	default:
+		want = cfg.InitialSize + int(res.TotalInserts) - int(res.TotalDeletes)
+		got = res.FinalCount
+	}
+	slack = cfg.CrashThreads
+	if diff := got - want; diff > slack || diff < -slack {
+		return Verdict{
+			Failed: true, Oracle: OracleConservation,
+			Detail: fmt.Sprintf("final count %d, ledger says %d (+%d inserts, -%d deletes)",
+				got, want, res.TotalInserts, res.TotalDeletes),
+		}
+	}
+	return Verdict{}
+}
+
+// judgeLinearizable checks each key's completed-operation history (when the
+// run collected one) with internal/bench's per-key checker. Inconclusive
+// (oversized) key histories are skipped, never failed.
+func judgeLinearizable(cfg RunConfig, res *bench.Result) Verdict {
+	if res.Histories == nil {
+		return Verdict{}
+	}
+	initial := bench.InitialKeys(cfg.benchConfig())
+	for k, ops := range res.Histories {
+		ok, conclusive := bench.CheckKeyLinearizable(initial[k], ops)
+		if conclusive && !ok {
+			return Verdict{
+				Failed: true, Oracle: OracleLinearizable,
+				Detail: fmt.Sprintf("key %d: no legal order for its %d completed ops", k, len(ops)),
+			}
+		}
+	}
+	return Verdict{}
+}

@@ -1,0 +1,109 @@
+package explore
+
+// Single-run execution: Record runs a strategy and captures its schedule
+// log; ReplayLog re-drives a run from a log. Both recover simulated crashes
+// (allocator panics) into the crash oracle instead of killing the process.
+
+import (
+	"stacktrack/internal/bench"
+	"stacktrack/internal/sched"
+	"stacktrack/internal/trace"
+)
+
+// Outcome is one completed exploration run.
+type Outcome struct {
+	Config  RunConfig
+	Verdict Verdict
+	// Log is the recorded schedule (Record only; nil after ReplayLog).
+	Log *Log
+	// Result is the raw harness result; nil when the run crashed.
+	Result *bench.Result
+	// Steps counts scheduling decisions (Record only).
+	Steps uint64
+	// Applied lists the deviations that fired (ReplayLog only).
+	Applied []Applied
+}
+
+// runJudged executes one simulation under the given policy and judges it.
+// A non-nil error is a configuration problem; simulated crashes (allocator
+// panics) become the crash oracle's verdict instead.
+func runJudged(cfg RunConfig, bc bench.Config, policy sched.Policy) (res *bench.Result, v Verdict, err error) {
+	bc.Policy = policy
+	var crash any
+	func() {
+		defer func() { crash = recover() }()
+		res, err = bench.Run(bc)
+	}()
+	if err != nil {
+		return nil, Verdict{}, err
+	}
+	return res, judge(cfg, res, crash), nil
+}
+
+// Record runs cfg under its named strategy, recording the schedule, and
+// returns the judged outcome with a replayable log attached.
+func Record(cfg RunConfig) (*Outcome, error) {
+	cfg = cfg.WithDefaults()
+	strat, err := NewStrategy(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rec := NewRecording(strat)
+	res, v, err := runJudged(cfg, cfg.benchConfig(), rec)
+	if err != nil {
+		return nil, err
+	}
+	log := &Log{Config: cfg, Decisions: rec.Decisions()}
+	if v.Failed {
+		log.Oracle = v.Oracle
+	}
+	return &Outcome{Config: cfg, Verdict: v, Log: log, Result: res, Steps: rec.Steps()}, nil
+}
+
+// RecordTraced is Record with an event trace attached to the run: ring
+// mode, so the tail (where failures live) survives any length of run.
+func RecordTraced(cfg RunConfig, events int) (*Outcome, *trace.Recorder, error) {
+	cfg = cfg.WithDefaults()
+	strat, err := NewStrategy(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	rec := NewRecording(strat)
+	bc := cfg.benchConfig()
+	bc.TraceEvents = events
+	bc.RingTrace = true
+	res, v, err := runJudged(cfg, bc, rec)
+	if err != nil {
+		return nil, nil, err
+	}
+	log := &Log{Config: cfg, Decisions: rec.Decisions()}
+	if v.Failed {
+		log.Oracle = v.Oracle
+	}
+	out := &Outcome{Config: cfg, Verdict: v, Log: log, Result: res, Steps: rec.Steps()}
+	if res == nil {
+		return out, nil, nil
+	}
+	return out, res.Trace, nil
+}
+
+// ReplayLog re-drives the simulation from a schedule log and judges it.
+// events > 0 additionally records a ring trace of that many events.
+func ReplayLog(log *Log, events int) (*Outcome, *trace.Recorder, error) {
+	cfg := log.Config.WithDefaults()
+	rp := NewReplay(log.Decisions)
+	bc := cfg.benchConfig()
+	if events > 0 {
+		bc.TraceEvents = events
+		bc.RingTrace = true
+	}
+	res, v, err := runJudged(cfg, bc, rp)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := &Outcome{Config: cfg, Verdict: v, Result: res, Applied: rp.Applied()}
+	if res == nil {
+		return out, nil, nil
+	}
+	return out, res.Trace, nil
+}

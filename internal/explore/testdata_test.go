@@ -1,0 +1,60 @@
+package explore
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestPinnedRaceArtifacts replays the committed schedule artifacts — ddmin-
+// minimized counterexamples against the deliberately unsound UnsafeFree
+// scheme, in the spirit of DESIGN.md §4c's race catalogue. Each must
+// re-fire the oracle it was saved for, and each is schedule-DEPENDENT: the
+// same workload under the default virtual-time schedule passes, so what the
+// artifact pins is the interleaving, not the workload.
+func TestPinnedRaceArtifacts(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.schedule")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 3 {
+		t.Fatalf("expected at least 3 pinned schedules, found %d", len(files))
+	}
+	for _, path := range files {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			log, err := LoadLog(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if log.Oracle == "" {
+				t.Fatal("artifact does not name its oracle")
+			}
+			if len(log.Decisions) == 0 {
+				t.Fatal("artifact has no scheduling deviations: it pins a workload, not a schedule")
+			}
+
+			rep, _, err := ReplayLog(log, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Verdict.Failed {
+				t.Fatalf("pinned race no longer reproduces (verdict: %s)", rep.Verdict)
+			}
+			if rep.Verdict.Oracle != log.Oracle {
+				t.Fatalf("oracle drifted: artifact pinned %q, replay fired %q",
+					log.Oracle, rep.Verdict.Oracle)
+			}
+
+			// Schedule-dependence: strip the deviations and the same workload
+			// must pass under the default rule.
+			base, _, err := ReplayLog(&Log{Config: log.Config}, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if base.Verdict.Failed {
+				t.Fatalf("default schedule fails too (%s): artifact no longer isolates the interleaving",
+					base.Verdict)
+			}
+		})
+	}
+}

@@ -102,6 +102,7 @@ func (r *PlainRunner) Start(t *sched.Thread, op *Op) {
 		panic("prog: Start while an operation is in progress")
 	}
 	t.Scheme.BeginOp(t, op.ID)
+	t.Trace(sched.TraceOpStart, uint64(op.ID))
 	r.op = op
 	r.pc = 0
 	r.frame = t.PushFrame(op.FrameWords)
@@ -118,6 +119,7 @@ func (r *PlainRunner) Step(t *sched.Thread) bool {
 	if r.pc == Done {
 		t.PopFrame(r.frame)
 		t.Scheme.EndOp(t)
+		t.Trace(sched.TraceOpEnd, t.Reg(RegResult))
 		r.busy = false
 		return true
 	}

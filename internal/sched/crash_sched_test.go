@@ -1,0 +1,145 @@
+package sched
+
+import (
+	"testing"
+
+	"stacktrack/internal/cost"
+)
+
+// Crash interacting with oversubscription and preemption: a thread can die
+// while *descheduled* (waiting behind another thread on its hardware
+// context) or while occupying the context with waiters behind it. Both
+// shapes appear the moment the schedule fuzzer crashes threads under 2x
+// oversubscription, so they get direct coverage here.
+
+// oversubWorld builds 16 threads on 8 contexts: context c hosts threads c
+// and c+8.
+func oversubWorld(t *testing.T) (*Scheduler, []*Thread, []*counterStepper) {
+	t.Helper()
+	_, _, sc, ts := newWorld(t, 16)
+	steppers := make([]*counterStepper, len(ts))
+	for i, th := range ts {
+		steppers[i] = &counterStepper{cost: 1000}
+		sc.AddThread(th, steppers[i])
+	}
+	return sc, ts, steppers
+}
+
+func TestCrashDescheduledThread(t *testing.T) {
+	sc, ts, steppers := oversubWorld(t)
+	sc.Run(cost.TimesliceQuantum)
+
+	// Kill whoever is waiting (not running) on context 0.
+	victim := sc.QueueThreadID(0, 1)
+	if victim < 0 {
+		t.Fatal("context 0 has no descheduled waiter")
+	}
+	frozen := steppers[victim].steps
+	sc.Crash(victim)
+
+	if sc.QueueLen(0) != 1 {
+		t.Fatalf("context 0 queue length %d after crash, want 1", sc.QueueLen(0))
+	}
+	if sc.OccupantID(0) == victim {
+		t.Fatal("crashed waiter became the occupant")
+	}
+	sc.Run(cost.TimesliceQuantum * 6)
+	if steppers[victim].steps != frozen {
+		t.Fatal("crashed (descheduled) thread stepped after its crash")
+	}
+	// Its context sibling inherits the whole context: no quantum sharing.
+	survivor := sc.OccupantID(0)
+	if !(survivor >= 0) || steppers[survivor].steps == 0 {
+		t.Fatal("surviving occupant made no progress")
+	}
+	if ts[victim].Done() {
+		t.Fatal("crashed thread must be crashed, not done")
+	}
+}
+
+func TestCrashOccupantSwitchesInWaiter(t *testing.T) {
+	sc, _, steppers := oversubWorld(t)
+	sc.Run(cost.TimesliceQuantum)
+
+	victim := sc.OccupantID(0)
+	waiter := sc.QueueThreadID(0, 1)
+	if victim < 0 || waiter < 0 {
+		t.Fatalf("context 0 not oversubscribed: occupant %d, waiter %d", victim, waiter)
+	}
+	waiterSteps := steppers[waiter].steps
+	sc.Crash(victim)
+
+	if got := sc.OccupantID(0); got != waiter {
+		t.Fatalf("occupant after crash = %d, want the waiter %d", got, waiter)
+	}
+	sc.Run(cost.TimesliceQuantum * 2)
+	if steppers[waiter].steps <= waiterSteps {
+		t.Fatal("switched-in waiter made no progress after the occupant crashed")
+	}
+	if steppers[victim].steps != 0 && sc.QueueLen(0) != 1 {
+		t.Fatalf("context 0 queue length %d after occupant crash, want 1", sc.QueueLen(0))
+	}
+}
+
+func TestCrashEntireContextQueue(t *testing.T) {
+	sc, ts, steppers := oversubWorld(t)
+	sc.Run(cost.TimesliceQuantum)
+
+	// Kill both threads of context 3 (threads 3 and 11).
+	sc.Crash(3)
+	sc.Crash(11)
+	if sc.QueueLen(3) != 0 {
+		t.Fatalf("context 3 queue length %d after double crash, want 0", sc.QueueLen(3))
+	}
+
+	// The rest of the machine keeps going.
+	sc.Run(cost.TimesliceQuantum * 4)
+	for i, th := range ts {
+		if i == 3 || i == 11 {
+			continue
+		}
+		if steppers[i].steps == 0 {
+			t.Fatalf("thread %d starved after an unrelated context died", i)
+		}
+		if th.VTime() == 0 {
+			t.Fatalf("thread %d never advanced", i)
+		}
+	}
+}
+
+// TestCrashUnderPolicyForcedPreemption: a policy that preempts on every
+// other decision exercises rotation constantly (far above the quantum
+// rate); crashing threads mid-churn must neither revive them nor wedge the
+// rotation. (Preempting on *every* decision would rotate forever without
+// stepping anyone — the policy seam makes that possible, which is exactly
+// why the fuzzer's strategies preempt probabilistically.)
+type togglePreempt struct{ flip bool }
+
+func (p *togglePreempt) Pick(s *Scheduler, cands []int) int { return s.DefaultPick(cands) }
+func (p *togglePreempt) Preempt(s *Scheduler, ctx int) bool {
+	p.flip = !p.flip
+	return p.flip
+}
+
+func TestCrashUnderPolicyForcedPreemption(t *testing.T) {
+	sc, ts, steppers := oversubWorld(t)
+	sc.SetPolicy(&togglePreempt{})
+	sc.Run(cost.TimesliceQuantum / 2)
+
+	sc.Crash(5)
+	sc.Crash(13) // both threads of context 5, killed mid-churn
+	sc.Crash(sc.OccupantID(2))
+
+	sc.Run(cost.TimesliceQuantum * 2)
+	for i, th := range ts {
+		if th.Crashed() {
+			continue
+		}
+		if steppers[i].steps == 0 {
+			t.Fatalf("thread %d starved under forced-preemption churn", i)
+		}
+	}
+	if sc.QueueLen(5) != 0 {
+		t.Fatalf("context 5 queue length %d, want 0", sc.QueueLen(5))
+	}
+}

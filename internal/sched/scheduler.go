@@ -32,6 +32,28 @@ type hwContext struct {
 	sliceStart cost.Cycles
 }
 
+// Policy decides scheduling: which runnable context steps next, and whether
+// the occupant of an oversubscribed context is preempted before it steps.
+// The zero policy (nil) is the built-in virtual-time rule: minimum occupant
+// vtime wins, preemption on OS-timeslice expiry. internal/explore supplies
+// alternative strategies (random walk, PCT) plus record/replay wrappers.
+//
+// A policy is consulted at exactly two kinds of decision point:
+//
+//   - Pick: once per scheduler loop iteration, over the current list of
+//     runnable context ids (ascending). It returns an index into cands.
+//   - Preempt: immediately after Pick, only when the chosen context
+//     multiplexes more than one thread. Returning true rotates the
+//     occupant out (aborting its transaction) before anything steps.
+//
+// Policies must be deterministic functions of their own state; everything
+// they can observe through the Scheduler accessors is part of the
+// deterministic simulation.
+type Policy interface {
+	Pick(s *Scheduler, cands []int) int
+	Preempt(s *Scheduler, ctx int) bool
+}
+
 // Scheduler interleaves simulated threads in virtual-time order. It is the
 // single driver of all simulated execution; nothing in the simulation runs
 // on more than one host goroutine.
@@ -45,6 +67,8 @@ type Scheduler struct {
 	siblings [][]int // per-context list of same-core context ids
 
 	jitter *rng.Rand
+	policy Policy
+	cands  []int // reusable runnable-candidate buffer
 }
 
 // NewScheduler creates a scheduler over m with the given topology and
@@ -84,6 +108,73 @@ func (s *Scheduler) AddThread(t *Thread, st Stepper) {
 
 // Threads returns the registered threads (the scanner's activity array).
 func (s *Scheduler) Threads() []*Thread { return s.threads }
+
+// SetPolicy installs a scheduling policy; nil restores the built-in
+// virtual-time rule. Install before Run — switching mid-run is legal but
+// changes the interleaving from that point on.
+func (s *Scheduler) SetPolicy(p Policy) { s.policy = p }
+
+// --- Policy observation accessors -----------------------------------------
+
+// NumContexts returns the number of hardware contexts.
+func (s *Scheduler) NumContexts() int { return len(s.contexts) }
+
+// QueueLen returns how many threads are queued on context ctx (the occupant
+// included).
+func (s *Scheduler) QueueLen(ctx int) int { return len(s.contexts[ctx].queue) }
+
+// QueueThreadID returns the id of the thread at queue position pos of
+// context ctx (position 0 is the occupant), or -1 if out of range.
+func (s *Scheduler) QueueThreadID(ctx, pos int) int {
+	q := s.contexts[ctx].queue
+	if pos < 0 || pos >= len(q) {
+		return -1
+	}
+	return q[pos].ID
+}
+
+// OccupantID returns the thread id currently occupying context ctx, or -1
+// if its queue is empty.
+func (s *Scheduler) OccupantID(ctx int) int { return s.QueueThreadID(ctx, 0) }
+
+// OccupantVTime returns the occupant thread's virtual clock (0 if empty).
+func (s *Scheduler) OccupantVTime(ctx int) cost.Cycles {
+	q := s.contexts[ctx].queue
+	if len(q) == 0 {
+		return 0
+	}
+	return q[0].vtime
+}
+
+// SliceElapsed returns how long the occupant of ctx has been on-CPU in this
+// timeslice (virtual cycles).
+func (s *Scheduler) SliceElapsed(ctx int) cost.Cycles {
+	c := s.contexts[ctx]
+	if len(c.queue) == 0 || c.queue[0].vtime < c.sliceStart {
+		return 0
+	}
+	return c.queue[0].vtime - c.sliceStart
+}
+
+// DefaultPick is the built-in virtual-time rule: the candidate whose
+// occupant has the minimum virtual clock, ties broken by context id (cands
+// is ascending, so the first minimum wins).
+func (s *Scheduler) DefaultPick(cands []int) int {
+	best := 0
+	for i := 1; i < len(cands); i++ {
+		if s.contexts[cands[i]].queue[0].vtime < s.contexts[cands[best]].queue[0].vtime {
+			best = i
+		}
+	}
+	return best
+}
+
+// DefaultPreempt is the built-in OS rule: rotate when the occupant has
+// exhausted its timeslice quantum.
+func (s *Scheduler) DefaultPreempt(ctx int) bool {
+	c := s.contexts[ctx]
+	return c.queue[0].vtime-c.sliceStart >= cost.TimesliceQuantum
+}
 
 // SiblingActive implements mem.Pressure: whether a sibling hyperthread of
 // tid's core currently hosts a live thread. Threads not registered with the
@@ -139,16 +230,35 @@ func (s *Scheduler) Crash(tid int) {
 // repeatedly with increasing horizons (warmup, then measurement).
 func (s *Scheduler) Run(until cost.Cycles) {
 	for {
-		ctx := s.pick(until)
-		if ctx == nil {
+		cands := s.runnableContexts(until)
+		if len(cands) == 0 {
 			return
 		}
+		var i int
+		if s.policy != nil {
+			i = s.policy.Pick(s, cands)
+			if i < 0 || i >= len(cands) {
+				i = s.DefaultPick(cands)
+			}
+		} else {
+			i = s.DefaultPick(cands)
+		}
+		ctx := s.contexts[cands[i]]
 		t := ctx.queue[0]
 
-		// OS timeslice expiry: switch in the next waiter.
-		if len(ctx.queue) > 1 && t.vtime-ctx.sliceStart >= cost.TimesliceQuantum {
-			s.rotate(ctx, until)
-			continue
+		// OS timeslice expiry (or a policy-forced context switch): switch
+		// in the next waiter.
+		if len(ctx.queue) > 1 {
+			var pre bool
+			if s.policy != nil {
+				pre = s.policy.Preempt(s, ctx.id)
+			} else {
+				pre = s.DefaultPreempt(ctx.id)
+			}
+			if pre {
+				s.rotate(ctx, until)
+				continue
+			}
 		}
 
 		if t.Blocked != nil {
@@ -186,20 +296,18 @@ func (s *Scheduler) Run(until cost.Cycles) {
 	}
 }
 
-// pick returns the context whose occupant should step next: the minimum
-// context clock among contexts with work remaining. Deterministic tie-break
-// by context id.
-func (s *Scheduler) pick(until cost.Cycles) *hwContext {
-	var best *hwContext
+// runnableContexts collects the ids of every context with an occupant that
+// can step before the horizon, in ascending context order. (It shares the
+// side effects of runnable: finished and out-of-horizon occupants are
+// retired or rotated past while gathering.)
+func (s *Scheduler) runnableContexts(until cost.Cycles) []int {
+	s.cands = s.cands[:0]
 	for _, ctx := range s.contexts {
-		if !s.runnable(ctx, until) {
-			continue
-		}
-		if best == nil || ctx.queue[0].vtime < best.queue[0].vtime {
-			best = ctx
+		if s.runnable(ctx, until) {
+			s.cands = append(s.cands, ctx.id)
 		}
 	}
-	return best
+	return s.cands
 }
 
 // runnable reports whether ctx has an occupant that can step before the

@@ -369,6 +369,7 @@ func (t *Thread) Alloc(n int) word.Addr {
 // FreeNow immediately returns an object to the allocator (used by
 // reclaimers once an object is proven unreachable).
 func (t *Thread) FreeNow(p word.Addr) {
+	t.Trace(TraceFree, uint64(p))
 	t.vtime += cost.Free
 	t.A.Free(t.ID, p)
 }

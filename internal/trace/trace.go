@@ -20,15 +20,20 @@ type Event struct {
 	Arg   uint64
 }
 
-// Recorder implements sched.Tracer with a bounded buffer. Events past the
-// capacity are counted, not stored.
+// Recorder implements sched.Tracer with a bounded buffer. In the default
+// (head) mode, events past the capacity are counted, not stored — the buffer
+// keeps the *first* N events. In ring mode (NewRingRecorder) the buffer
+// keeps the *last* N events, displacing the oldest, so the failure tail of a
+// long fuzzing run is always visible.
 type Recorder struct {
 	cap     int
 	events  []Event
 	dropped uint64
+	ring    bool
+	head    int // ring mode: index of the oldest stored event once full
 }
 
-// NewRecorder creates a recorder holding at most capacity events.
+// NewRecorder creates a recorder holding at most the first capacity events.
 func NewRecorder(capacity int) *Recorder {
 	if capacity <= 0 {
 		capacity = 1 << 16
@@ -36,19 +41,50 @@ func NewRecorder(capacity int) *Recorder {
 	return &Recorder{cap: capacity}
 }
 
-// TraceEvent implements sched.Tracer.
-func (r *Recorder) TraceEvent(t *sched.Thread, k sched.TraceKind, arg uint64) {
-	if len(r.events) >= r.cap {
-		r.dropped++
-		return
-	}
-	r.events = append(r.events, Event{VTime: t.VTime(), Tid: t.ID, Kind: k, Arg: arg})
+// NewRingRecorder creates a recorder holding at most the last capacity
+// events: once full, each new event displaces the oldest (which is counted
+// as dropped).
+func NewRingRecorder(capacity int) *Recorder {
+	r := NewRecorder(capacity)
+	r.ring = true
+	return r
 }
 
-// Events returns the recorded events in emission order.
-func (r *Recorder) Events() []Event { return r.events }
+// TraceEvent implements sched.Tracer.
+func (r *Recorder) TraceEvent(t *sched.Thread, k sched.TraceKind, arg uint64) {
+	e := Event{VTime: t.VTime(), Tid: t.ID, Kind: k, Arg: arg}
+	if len(r.events) < r.cap {
+		r.events = append(r.events, e)
+		return
+	}
+	r.dropped++
+	if r.ring {
+		r.events[r.head] = e
+		r.head++
+		if r.head == r.cap {
+			r.head = 0
+		}
+	}
+}
 
-// Dropped returns how many events exceeded the buffer.
+// Events returns the recorded events in emission order. In ring mode the
+// slice is a copy rotated into chronological order.
+func (r *Recorder) Events() []Event {
+	if !r.ring || r.head == 0 {
+		return r.events
+	}
+	out := make([]Event, 0, len(r.events))
+	out = append(out, r.events[r.head:]...)
+	out = append(out, r.events[:r.head]...)
+	return out
+}
+
+// Ring reports whether the recorder keeps the last (rather than the first)
+// N events.
+func (r *Recorder) Ring() bool { return r.ring }
+
+// Dropped returns how many events exceeded the buffer: overflow events in
+// head mode, displaced (oldest) events in ring mode.
 func (r *Recorder) Dropped() uint64 { return r.dropped }
 
 // Len returns the number of recorded events.
@@ -58,7 +94,12 @@ func (r *Recorder) Len() int { return len(r.events) }
 //
 //	vtime  tid  kind        arg
 func (r *Recorder) Dump(w io.Writer) error {
-	for _, e := range r.events {
+	if r.ring && r.dropped > 0 {
+		if _, err := fmt.Fprintf(w, "(%d earlier events displaced past the %d-event ring)\n", r.dropped, r.cap); err != nil {
+			return err
+		}
+	}
+	for _, e := range r.Events() {
 		var arg string
 		switch e.Kind {
 		case sched.TraceSegCommit:
@@ -82,7 +123,7 @@ func (r *Recorder) Dump(w io.Writer) error {
 			return err
 		}
 	}
-	if r.dropped > 0 {
+	if !r.ring && r.dropped > 0 {
 		if _, err := fmt.Fprintf(w, "(+%d events dropped past the %d-event buffer)\n", r.dropped, r.cap); err != nil {
 			return err
 		}

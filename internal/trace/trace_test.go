@@ -4,8 +4,10 @@ import (
 	"strings"
 	"testing"
 
+	"stacktrack/internal/alloc"
 	"stacktrack/internal/bench"
 	"stacktrack/internal/cost"
+	"stacktrack/internal/mem"
 	"stacktrack/internal/sched"
 	"stacktrack/internal/trace"
 )
@@ -108,6 +110,92 @@ func TestRecorderDefaultCapacity(t *testing.T) {
 	r := trace.NewRecorder(0)
 	if r.Len() != 0 || r.Dropped() != 0 {
 		t.Fatal("fresh recorder not empty")
+	}
+}
+
+// emitSeq pushes n op-start events with Arg 0..n-1 at increasing vtimes.
+func emitSeq(r *trace.Recorder, th *sched.Thread, n int) {
+	for i := 0; i < n; i++ {
+		th.Charge(10)
+		r.TraceEvent(th, sched.TraceOpStart, uint64(i))
+	}
+}
+
+func newBareThread() *sched.Thread {
+	m := mem.New(mem.Config{Words: 1 << 16})
+	return sched.NewThread(0, m, alloc.New(m), 1)
+}
+
+// TestHeadModeKeepsFirstAndCountsRest: the default recorder stores the
+// first N events and counts the overflow.
+func TestHeadModeKeepsFirstAndCountsRest(t *testing.T) {
+	r := trace.NewRecorder(4)
+	emitSeq(r, newBareThread(), 10)
+	if r.Ring() {
+		t.Fatal("head-mode recorder claims to be a ring")
+	}
+	if r.Len() != 4 || r.Dropped() != 6 {
+		t.Fatalf("len %d dropped %d, want 4 and 6", r.Len(), r.Dropped())
+	}
+	for i, e := range r.Events() {
+		if e.Arg != uint64(i) {
+			t.Fatalf("event %d has arg %d, want the first four", i, e.Arg)
+		}
+	}
+}
+
+// TestRingModeKeepsTail: the ring recorder stores the last N events in
+// chronological order and counts the displaced ones.
+func TestRingModeKeepsTail(t *testing.T) {
+	r := trace.NewRingRecorder(4)
+	emitSeq(r, newBareThread(), 10)
+	if !r.Ring() {
+		t.Fatal("ring recorder does not report ring mode")
+	}
+	if r.Len() != 4 || r.Dropped() != 6 {
+		t.Fatalf("len %d dropped %d, want 4 and 6", r.Len(), r.Dropped())
+	}
+	evs := r.Events()
+	for i, e := range evs {
+		if e.Arg != uint64(6+i) {
+			t.Fatalf("ring events %v, want args 6..9 in order", evs)
+		}
+		if i > 0 && evs[i].VTime < evs[i-1].VTime {
+			t.Fatal("ring events out of chronological order")
+		}
+	}
+}
+
+// TestRingModeUnderCapacity: a ring that never fills behaves like the
+// head-mode recorder.
+func TestRingModeUnderCapacity(t *testing.T) {
+	r := trace.NewRingRecorder(16)
+	emitSeq(r, newBareThread(), 5)
+	if r.Len() != 5 || r.Dropped() != 0 {
+		t.Fatalf("len %d dropped %d, want 5 and 0", r.Len(), r.Dropped())
+	}
+	for i, e := range r.Events() {
+		if e.Arg != uint64(i) {
+			t.Fatal("under-capacity ring reordered events")
+		}
+	}
+}
+
+// TestRingDumpAnnouncesDisplacement: the ring dump leads with how much
+// history was displaced, then shows the tail.
+func TestRingDumpAnnouncesDisplacement(t *testing.T) {
+	r := trace.NewRingRecorder(4)
+	emitSeq(r, newBareThread(), 10)
+	var sb strings.Builder
+	if err := r.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "displaced") {
+		t.Fatalf("ring dump missing displacement note:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "(") {
+		t.Fatalf("displacement note should lead the dump:\n%s", out)
 	}
 }
 

@@ -1,0 +1,61 @@
+#!/usr/bin/env sh
+# CI smoke for the schedule fuzzer (cmd/stfuzz).
+#
+# Phase 1 — clean schemes stay clean: ~20 seconds of exploration spread
+# over {list, skiplist} x {stacktrack, hp}. Any oracle violation in a sound
+# scheme is a real bug and fails the job.
+#
+# Phase 2 — the fuzzer catches a seeded bug, and parallel exploration
+# catches it faster: the deliberately unsound "unsafe" scheme at a
+# calibrated workload whose first failing seed is ~57 seeds deep
+# (~40 ms/run), so a 4-worker campaign beats a 1-worker campaign by a wide
+# margin. -expect-failure inverts the exit status: finding the bug is
+# success.
+set -eu
+
+STFUZZ=${STFUZZ:-./bin/stfuzz}
+go build -o "$STFUZZ" ./cmd/stfuzz
+
+echo "== phase 1: sound schemes stay clean (4 x 5s) =="
+for ds in list skiplist; do
+  for scheme in stacktrack hp; do
+    echo "-- $ds / $scheme"
+    "$STFUZZ" -ds "$ds" -scheme "$scheme" -strategy random \
+      -budget 5s -workers 2
+  done
+done
+
+echo "== phase 2: seeded unsafe bug, 1 worker vs 4 workers =="
+# Calibrated so the first failing seed sits deep enough that fan-out pays.
+seeded() {
+  "$STFUZZ" -ds list -scheme unsafe -strategy random \
+    -threads 2 -mutate 15 -keyrange 1536 -initial 384 \
+    -measure-ms 1 -warmup-ms 0.05 \
+    -budget 120s -workers "$1" -expect-failure -trace 0
+}
+
+ms_now() {
+  # POSIX date has no %N; fall back to second resolution x1000.
+  if date +%s%N | grep -qv N; then
+    echo $(( $(date +%s%N) / 1000000 ))
+  else
+    echo $(( $(date +%s) * 1000 ))
+  fi
+}
+
+t0=$(ms_now); seeded 1; t1=$(ms_now)
+serial=$(( t1 - t0 ))
+t0=$(ms_now); seeded 4; t1=$(ms_now)
+parallel=$(( t1 - t0 ))
+echo "seeded bug found: 1 worker ${serial}ms, 4 workers ${parallel}ms"
+
+cores=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+if [ "$cores" -lt 2 ]; then
+  echo "SKIP timing comparison: only $cores host core(s); both campaigns found the bug"
+  exit 0
+fi
+if [ "$parallel" -ge "$serial" ]; then
+  echo "FAIL: 4 workers (${parallel}ms) were not faster than 1 worker (${serial}ms)" >&2
+  exit 1
+fi
+echo "OK: parallel exploration is $(( serial / parallel ))x+ faster"
