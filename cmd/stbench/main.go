@@ -1,14 +1,26 @@
 // Command stbench regenerates the evaluation of the StackTrack paper
 // (EuroSys 2014) on the simulated machine: every figure and the scan-
-// statistics table, as aligned text or CSV.
+// statistics table, as aligned text, CSV, or versioned JSON.
 //
 // Usage:
 //
 //	stbench [flags] [experiment ...]
 //
-// With no arguments it runs every experiment in paper order. Experiments:
-// figure1-list, figure1-skiplist, figure2-queue, figure2-hash,
-// figure3-aborts, figure4-splits, figure5-slowpath, table-scanstats.
+// With no arguments it runs every experiment in paper order. Experiments
+// are named by long name (figure1-list), short ID (E1a), or alias
+// (fig1-list); `-list` prints all three. `-run` is equivalent to naming
+// experiments positionally.
+//
+// JSON and regression gating:
+//
+//	stbench -quick -run E1a -json out.json          # machine-readable results
+//	stbench -quick -run E1a,E2b,E3 -baseline .      # write BENCH_<ID>.json baselines
+//	stbench -quick -run E1a,E2b,E3 -compare .       # diff against the baselines
+//
+// The simulator is deterministic, so -compare demands exact counter
+// equality by default (-counter-tol relaxes it); throughput and derived
+// rates are allowed -tol relative drift (default 10%). Exit status: 1 on
+// regression, 2 on usage errors (unknown experiment, bad flags).
 package main
 
 import (
@@ -23,20 +35,31 @@ import (
 
 func main() {
 	var (
-		quick     = flag.Bool("quick", false, "reduced sweep (fewer thread counts, shorter runs)")
-		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		measureMs = flag.Float64("measure-ms", 0, "virtual measurement window per point (ms)")
-		warmupMs  = flag.Float64("warmup-ms", 0, "virtual warmup per point (ms)")
-		seed      = flag.Uint64("seed", 0, "master seed (0 = default)")
-		threads   = flag.String("threads", "", "comma-separated thread counts (e.g. 1,2,4,8,16)")
-		verbose   = flag.Bool("v", false, "print per-point progress to stderr")
-		list      = flag.Bool("list", false, "list experiment names and exit")
+		quick      = flag.Bool("quick", false, "reduced sweep (fewer thread counts, shorter runs)")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		measureMs  = flag.Float64("measure-ms", 0, "virtual measurement window per point (ms)")
+		warmupMs   = flag.Float64("warmup-ms", 0, "virtual warmup per point (ms)")
+		seed       = flag.Uint64("seed", 0, "master seed (0 = default)")
+		threads    = flag.String("threads", "", "comma-separated thread counts (e.g. 1,2,4,8,16)")
+		verbose    = flag.Bool("v", false, "print per-point progress to stderr")
+		list       = flag.Bool("list", false, "list experiment names and exit")
+		run        = flag.String("run", "", "comma-separated experiments (names, IDs, or aliases)")
+		jsonOut    = flag.String("json", "", "write results as versioned JSON to this file")
+		baseline   = flag.String("baseline", "", "write one BENCH_<ID>.json baseline per experiment into this directory")
+		compare    = flag.String("compare", "", "compare against BENCH_<ID>.json baselines in this directory; exit 1 on regression")
+		tol        = flag.Float64("tol", 0.10, "relative tolerance for throughput and derived rates in -compare")
+		counterTol = flag.Float64("counter-tol", 0, "relative tolerance for raw counters in -compare (0 = exact)")
+		profile    = flag.Bool("profile", false, "enable the virtual-cycle profiler on every point")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, e := range bench.Experiments {
-			fmt.Println(e.Name)
+			if e.Alias != "" {
+				fmt.Printf("%-22s %-4s %s\n", e.Name, e.ID, e.Alias)
+			} else {
+				fmt.Printf("%-22s %s\n", e.Name, e.ID)
+			}
 		}
 		return
 	}
@@ -52,6 +75,7 @@ func main() {
 		opts.WarmupMs = *warmupMs
 	}
 	opts.Seed = *seed
+	opts.Profile = *profile
 	if *threads != "" {
 		opts.Threads = nil
 		for _, part := range strings.Split(*threads, ",") {
@@ -67,25 +91,49 @@ func main() {
 		opts.Progress = os.Stderr
 	}
 
-	want := flag.Args()
-	selected := func(name string) bool {
-		if len(want) == 0 {
-			return true
-		}
-		for _, w := range want {
-			if w == name {
-				return true
+	// Selection: -run entries plus positional names; empty = everything.
+	var want []string
+	if *run != "" {
+		for _, part := range strings.Split(*run, ",") {
+			if p := strings.TrimSpace(part); p != "" {
+				want = append(want, p)
 			}
 		}
-		return false
+	}
+	want = append(want, flag.Args()...)
+
+	var exps []*bench.Experiment
+	if len(want) == 0 {
+		for i := range bench.Experiments {
+			exps = append(exps, &bench.Experiments[i])
+		}
+	} else {
+		for _, w := range want {
+			e := bench.FindExperiment(w)
+			if e == nil {
+				fmt.Fprintf(os.Stderr, "stbench: unknown experiment %q (use -list)\n", w)
+				os.Exit(2)
+			}
+			exps = append(exps, e)
+		}
 	}
 
-	ran := 0
-	for _, e := range bench.Experiments {
-		if !selected(e.Name) {
-			continue
+	needJSON := *jsonOut != "" || *baseline != "" || *compare != ""
+	tolerance := bench.Tolerance{Rate: *tol, Counter: *counterTol}
+	var docs []*bench.ExperimentJSON
+	var regressions []bench.Regression
+	for _, e := range exps {
+		var tb *bench.Table
+		var err error
+		if needJSON {
+			var doc *bench.ExperimentJSON
+			doc, tb, err = bench.RunExperimentJSON(e, opts)
+			if err == nil {
+				docs = append(docs, doc)
+			}
+		} else {
+			tb, err = e.Run(opts)
 		}
-		tb, err := e.Run(opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "stbench: %s: %v\n", e.Name, err)
 			os.Exit(1)
@@ -97,10 +145,59 @@ func main() {
 		} else {
 			tb.Fprint(os.Stdout)
 		}
-		ran++
 	}
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "stbench: no experiment matched %v (use -list)\n", want)
-		os.Exit(2)
+
+	if *jsonOut != "" {
+		doc := &bench.ResultsJSON{Schema: bench.SchemaVersion, Experiments: docs}
+		if err := bench.WriteResultsJSON(*jsonOut, doc); err != nil {
+			fmt.Fprintf(os.Stderr, "stbench: %v\n", err)
+			os.Exit(1)
+		}
 	}
+	if *baseline != "" {
+		for i, e := range exps {
+			doc := &bench.ResultsJSON{Schema: bench.SchemaVersion, Experiments: docs[i : i+1]}
+			path := bench.BaselineFile(*baseline, e)
+			if err := bench.WriteResultsJSON(path, doc); err != nil {
+				fmt.Fprintf(os.Stderr, "stbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "stbench: wrote baseline %s\n", path)
+		}
+	}
+	if *compare != "" {
+		for i, e := range exps {
+			path := bench.BaselineFile(*compare, e)
+			base, err := bench.ReadResultsJSON(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "stbench: %v\n", err)
+				os.Exit(1)
+			}
+			ref := findInDoc(base, e)
+			if ref == nil {
+				fmt.Fprintf(os.Stderr, "stbench: %s has no results for %s\n", path, e.Name)
+				os.Exit(1)
+			}
+			regressions = append(regressions, bench.CompareExperiments(ref, docs[i], tolerance)...)
+		}
+		if len(regressions) > 0 {
+			fmt.Fprintf(os.Stderr, "stbench: %d regression(s) against baselines in %s:\n", len(regressions), *compare)
+			for _, r := range regressions {
+				fmt.Fprintf(os.Stderr, "  %s\n", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "stbench: no regressions against baselines in %s\n", *compare)
+	}
+}
+
+// findInDoc locates the experiment's entry inside a results document by ID
+// or name.
+func findInDoc(doc *bench.ResultsJSON, e *bench.Experiment) *bench.ExperimentJSON {
+	for _, x := range doc.Experiments {
+		if x.ID == e.ID || x.Name == e.Name {
+			return x
+		}
+	}
+	return nil
 }

@@ -14,9 +14,12 @@ import (
 	"os"
 	"strings"
 
+	"sort"
+
 	"stacktrack/internal/bench"
 	"stacktrack/internal/core"
 	"stacktrack/internal/cost"
+	"stacktrack/internal/metrics"
 )
 
 func main() {
@@ -35,6 +38,8 @@ func main() {
 		predictor = flag.String("predictor", "", "split predictor: additive|aimd")
 		validate  = flag.Bool("validate", true, "poison-check every load")
 		traceN    = flag.Int("trace", 0, "record and print up to N simulation events")
+		profile   = flag.Bool("profile", false, "attribute virtual cycles to phases and print the breakdown")
+		folded    = flag.String("folded", "", "write folded stacks (flamegraph.pl input) to this file; implies -profile")
 	)
 	flag.Parse()
 
@@ -49,6 +54,7 @@ func main() {
 		MeasureCycles: cost.FromSeconds(*measureMs / 1000),
 		Validate:      *validate,
 		TraceEvents:   *traceN,
+		Profile:       *profile || *folded != "",
 	}
 	cfg.Core.ForceSlowPct = *slowPct
 	cfg.Core.MaxFree = *maxFree
@@ -61,6 +67,16 @@ func main() {
 		os.Exit(1)
 	}
 	report(res)
+	if res.Profile != nil {
+		reportProfile(res.Profile)
+	}
+	if *folded != "" {
+		if err := os.WriteFile(*folded, []byte(res.Folded), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "stsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nfolded stacks written to %s (feed to flamegraph.pl)\n", *folded)
+	}
 	if res.Trace != nil {
 		fmt.Printf("\ntrace (%d events", res.Trace.Len())
 		if res.Trace.Dropped() > 0 {
@@ -72,6 +88,33 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// reportProfile prints the virtual-cycle phase breakdown, largest first.
+func reportProfile(p *metrics.ProfileSummary) {
+	fmt.Println("\nvirtual-cycle profile")
+	type kv struct {
+		name   string
+		cycles uint64
+	}
+	var phases []kv
+	for name, c := range p.Phases {
+		phases = append(phases, kv{name, c})
+	}
+	sort.Slice(phases, func(i, j int) bool {
+		if phases[i].cycles != phases[j].cycles {
+			return phases[i].cycles > phases[j].cycles
+		}
+		return phases[i].name < phases[j].name
+	})
+	for _, ph := range phases {
+		pct := 0.0
+		if p.TotalCycles > 0 {
+			pct = 100 * float64(ph.cycles) / float64(p.TotalCycles)
+		}
+		fmt.Printf("  %14d cycles  %5.1f%%  %s\n", ph.cycles, pct, ph.name)
+	}
+	fmt.Printf("  %14d cycles total attributed\n", p.TotalCycles)
 }
 
 func report(r *bench.Result) {

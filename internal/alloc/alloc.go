@@ -27,6 +27,7 @@ import (
 	"fmt"
 
 	"stacktrack/internal/mem"
+	"stacktrack/internal/metrics"
 	"stacktrack/internal/word"
 )
 
@@ -49,13 +50,36 @@ func classFor(n int) int {
 	return -1
 }
 
-// Stats counts allocator activity.
+// Stats counts allocator activity. It is a read-only view assembled
+// from the metrics registry's gauges: allocator quantities are levels,
+// not monotonic counts (Unalloc rolls an allocation back), and gauges
+// survive the harness's measurement-window reset so live-object
+// accounting stays exact.
 type Stats struct {
 	Allocs      uint64 // successful allocations
 	Frees       uint64 // successful frees
 	PagesInUse  uint64 // heap pages handed out
 	LiveObjects uint64 // currently allocated objects
 	LiveWords   uint64 // words in currently allocated objects
+}
+
+// allocGauges holds the allocator's metric handles.
+type allocGauges struct {
+	allocs      *metrics.Gauge
+	frees       *metrics.Gauge
+	pagesInUse  *metrics.Gauge
+	liveObjects *metrics.Gauge
+	liveWords   *metrics.Gauge
+}
+
+func newAllocGauges(r *metrics.Registry) allocGauges {
+	return allocGauges{
+		allocs:      r.Gauge("alloc.allocs"),
+		frees:       r.Gauge("alloc.frees"),
+		pagesInUse:  r.Gauge("alloc.pages_in_use"),
+		liveObjects: r.Gauge("alloc.live_objects"),
+		liveWords:   r.Gauge("alloc.live_words"),
+	}
 }
 
 type page struct {
@@ -75,7 +99,7 @@ type Allocator struct {
 	pages     map[uint64]*page // heap page number -> metadata
 	freeLists [][]word.Addr    // per-class stacks of free objects
 
-	stats Stats
+	g allocGauges
 }
 
 // New creates an allocator covering all of m. Address 0 is reserved so the
@@ -86,6 +110,7 @@ func New(m *mem.Memory) *Allocator {
 		staticBrk: word.Addr(word.LineWords), // skip line 0: null + red zone
 		pages:     make(map[uint64]*page),
 		freeLists: make([][]word.Addr, len(classSizes)),
+		g:         newAllocGauges(m.Metrics()),
 	}
 	return a
 }
@@ -94,7 +119,15 @@ func New(m *mem.Memory) *Allocator {
 func (a *Allocator) Memory() *mem.Memory { return a.m }
 
 // Stats returns a snapshot of allocator statistics.
-func (a *Allocator) Stats() Stats { return a.stats }
+func (a *Allocator) Stats() Stats {
+	return Stats{
+		Allocs:      uint64(a.g.allocs.Value()),
+		Frees:       uint64(a.g.frees.Value()),
+		PagesInUse:  uint64(a.g.pagesInUse.Value()),
+		LiveObjects: uint64(a.g.liveObjects.Value()),
+		LiveWords:   uint64(a.g.liveWords.Value()),
+	}
+}
 
 // Static bump-allocates n words that are never freed (globals, stacks,
 // register files). It must not be interleaved with heap growth: all static
@@ -139,7 +172,7 @@ func (a *Allocator) growClass(c int) bool {
 	slots := PageWords / size
 	p := &page{base: base, class: int8(c), allocated: make([]bool, slots)}
 	a.pages[uint64(base)>>pageShift] = p
-	a.stats.PagesInUse++
+	a.g.pagesInUse.Add(1)
 	// Push slots in reverse so low addresses pop first.
 	for i := slots - 1; i >= 0; i-- {
 		a.freeLists[c] = append(a.freeLists[c], base+word.Addr(i*size))
@@ -166,7 +199,7 @@ func (a *Allocator) TryAlloc(tid int, n int) (word.Addr, error) {
 		return 0, fmt.Errorf("alloc: object of %d words exceeds max class %d", n, classSizes[len(classSizes)-1])
 	}
 	if len(a.freeLists[c]) == 0 && !a.growClass(c) {
-		return 0, fmt.Errorf("alloc: simulated heap exhausted (%d pages in use); increase memory or enable reclamation", a.stats.PagesInUse)
+		return 0, fmt.Errorf("alloc: simulated heap exhausted (%d pages in use); increase memory or enable reclamation", uint64(a.g.pagesInUse.Value()))
 	}
 	fl := a.freeLists[c]
 	p := fl[len(fl)-1]
@@ -183,9 +216,9 @@ func (a *Allocator) TryAlloc(tid int, n int) (word.Addr, error) {
 	for i := 0; i < size; i++ {
 		a.m.Poke(p+word.Addr(i), 0)
 	}
-	a.stats.Allocs++
-	a.stats.LiveObjects++
-	a.stats.LiveWords += uint64(size)
+	a.g.allocs.Add(1)
+	a.g.liveObjects.Add(1)
+	a.g.liveWords.Add(int64(size))
 	_ = tid
 	return p, nil
 }
@@ -210,9 +243,9 @@ func (a *Allocator) Free(tid int, p word.Addr) {
 		a.m.WritePlain(tid, p+word.Addr(i), word.Poison)
 	}
 	a.freeLists[pg.class] = append(a.freeLists[pg.class], p)
-	a.stats.Frees++
-	a.stats.LiveObjects--
-	a.stats.LiveWords -= uint64(size)
+	a.g.frees.Add(1)
+	a.g.liveObjects.Add(-1)
+	a.g.liveWords.Add(-int64(size))
 }
 
 // Unalloc silently returns a never-published object to its free list with
@@ -236,9 +269,9 @@ func (a *Allocator) Unalloc(p word.Addr) {
 		a.m.Poke(p+word.Addr(i), word.Poison)
 	}
 	a.freeLists[pg.class] = append(a.freeLists[pg.class], p)
-	a.stats.Allocs-- // the allocation never happened, architecturally
-	a.stats.LiveObjects--
-	a.stats.LiveWords -= uint64(size)
+	a.g.allocs.Add(-1) // the allocation never happened, architecturally
+	a.g.liveObjects.Add(-1)
+	a.g.liveWords.Add(-int64(size))
 }
 
 // locate maps an address to its heap page and slot.

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"stacktrack/internal/cost"
 	"stacktrack/internal/topo"
@@ -19,6 +20,13 @@ type Options struct {
 	Seed      uint64
 	// Progress, if non-nil, receives one line per completed point.
 	Progress io.Writer
+	// Profile enables the virtual-cycle profiler on every point (fills
+	// Result.Profile / Result.Folded; never changes simulated results).
+	Profile bool
+	// Collect, if non-nil, observes every completed point as it finishes:
+	// the series label (scheme or variant), the thread count, and the
+	// full Result. The JSON exporter hooks in here.
+	Collect func(series string, threads int, res *Result)
 }
 
 // WithDefaults fills an Options with full-figure parameters.
@@ -55,6 +63,13 @@ func (o Options) cfg(structure, scheme string, threads int) Config {
 		Seed:          o.Seed,
 		WarmupCycles:  cost.FromSeconds(o.WarmupMs / 1000),
 		MeasureCycles: cost.FromSeconds(o.MeasureMs / 1000),
+		Profile:       o.Profile,
+	}
+}
+
+func (o Options) collect(series string, threads int, res *Result) {
+	if o.Collect != nil {
+		o.Collect(series, threads, res)
 	}
 }
 
@@ -74,6 +89,7 @@ func throughputSweep(structure string, schemes []string, o Options) (*Table, err
 			if err != nil {
 				return nil, err
 			}
+			o.collect(s, n, res)
 			row = append(row, f0(res.Throughput))
 			o.progress("%s %s threads=%d: %.0f ops/s", structure, s, n, res.Throughput)
 		}
@@ -144,6 +160,7 @@ func listStackTrackSweep(o Options) ([]*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		o.collect(SchemeStackTrack, n, res)
 		o.progress("list StackTrack threads=%d: %.0f ops/s, %d conflict aborts, %d capacity aborts",
 			n, res.Throughput, res.Mem.ConflictAborts, res.Mem.CapacityAborts)
 		out = append(out, res)
@@ -162,8 +179,8 @@ func Figure3Aborts(o Options) (*Table, error) {
 	}
 	tb := &Table{
 		Title: "Figure 3 — List: HTM contention and capacity aborts",
-		Note:  "preempt aborts are shown separately; the paper folds them into hardware aborts",
-		Cols:  []string{"threads", "contention", "capacity", "preempt", "aborts/1Ksegments"},
+		Note:  "preempt and explicit aborts are shown separately; the paper folds them into hardware aborts",
+		Cols:  []string{"threads", "contention", "capacity", "preempt", "explicit", "aborts/1Ksegments"},
 	}
 	for i, res := range results {
 		perSeg := 0.0
@@ -174,6 +191,7 @@ func Figure3Aborts(o Options) (*Table, error) {
 			fmt.Sprintf("%d", res.Mem.ConflictAborts),
 			fmt.Sprintf("%d", res.Mem.CapacityAborts),
 			fmt.Sprintf("%d", res.Mem.PreemptAborts),
+			fmt.Sprintf("%d", res.Mem.ExplicitAborts),
 			f2(perSeg))
 	}
 	return tb, nil
@@ -231,6 +249,7 @@ func Figure5SlowPath(o Options) (*Table, error) {
 			if base > 0 {
 				rel = 100 * res.Throughput / base
 			}
+			o.collect(fmt.Sprintf("Slow-%d", pct), n, res)
 			row = append(row, fmt.Sprintf("%.1f%%", rel))
 			o.progress("skiplist slow=%d%% threads=%d: %.0f ops/s", pct, n, res.Throughput)
 		}
@@ -260,6 +279,7 @@ func TableScanStats(o Options) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			o.collect(fmt.Sprintf("F%d", every), n, res)
 			depth := 0.0
 			if res.Core.ScanTargets > 0 {
 				depth = float64(res.Core.ScannedDepth) / float64(res.Core.ScanTargets)
@@ -302,6 +322,11 @@ func AblationScan(o Options) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			variant := "per-ptr"
+			if hashed {
+				variant = "hashed"
+			}
+			o.collect(variant, n, res)
 			perScan := 0.0
 			if res.Core.Scans > 0 {
 				perScan = float64(res.Core.ScannedWords) / float64(res.Core.Scans)
@@ -333,6 +358,7 @@ func AblationPredictor(o Options) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			o.collect(policy, n, res)
 			avgLen := 0.0
 			if res.Core.Segments > 0 {
 				avgLen = float64(res.Core.SegmentBlocks) / float64(res.Core.Segments)
@@ -395,6 +421,7 @@ func ExtensionCrash(o Options) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			o.collect(s, n, res)
 			row = append(row, f0(res.Throughput), fmt.Sprintf("%d", res.LeakedObjects+uint64(res.PendingFrees)))
 			o.progress("crash %s threads=%d: %.0f ops/s, %d unreclaimed", s, n, res.Throughput, res.LeakedObjects)
 		}
@@ -426,6 +453,7 @@ func ExtensionBigMachine(o Options) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			o.collect(s, n, res)
 			row = append(row, f0(res.Throughput))
 			o.progress("bigmachine %s threads=%d: %.0f ops/s", s, n, res.Throughput)
 		}
@@ -434,23 +462,44 @@ func ExtensionBigMachine(o Options) (*Table, error) {
 	return tb, nil
 }
 
-// Experiments maps experiment names to their runners: the paper's figures
-// and tables in order, then the ablations of design choices.
-var Experiments = []struct {
-	Name string
-	Run  func(Options) (*Table, error)
-}{
-	{"figure1-list", Figure1List},
-	{"figure1-skiplist", Figure1SkipList},
-	{"figure2-queue", Figure2Queue},
-	{"figure2-hash", Figure2Hash},
-	{"figure3-aborts", Figure3Aborts},
-	{"figure4-splits", Figure4Splits},
-	{"figure5-slowpath", Figure5SlowPath},
-	{"table-scanstats", TableScanStats},
-	{"ablation-scan", AblationScan},
-	{"ablation-predictor", AblationPredictor},
-	{"extension-schemes", ExtensionSchemes},
-	{"extension-crash", ExtensionCrash},
-	{"extension-bigmachine", ExtensionBigMachine},
+// Experiment is one registered experiment: a long name, a short stable ID
+// (used for baseline filenames like BENCH_E1a.json), an optional extra
+// alias, and the runner.
+type Experiment struct {
+	Name  string
+	ID    string
+	Alias string
+	Run   func(Options) (*Table, error)
+}
+
+// Experiments lists the paper's figures and tables in order, then the
+// ablations of design choices.
+var Experiments = []Experiment{
+	{"figure1-list", "E1a", "fig1-list", Figure1List},
+	{"figure1-skiplist", "E1b", "fig1-skiplist", Figure1SkipList},
+	{"figure2-queue", "E2a", "fig2-queue", Figure2Queue},
+	{"figure2-hash", "E2b", "fig2-hash", Figure2Hash},
+	{"figure3-aborts", "E3", "fig3-aborts", Figure3Aborts},
+	{"figure4-splits", "E4", "fig4-splits", Figure4Splits},
+	{"figure5-slowpath", "E5", "fig5-slowpath", Figure5SlowPath},
+	{"table-scanstats", "E6", "scanstats", TableScanStats},
+	{"ablation-scan", "E8a", "", AblationScan},
+	{"ablation-predictor", "E8b", "", AblationPredictor},
+	{"extension-schemes", "E8c", "", ExtensionSchemes},
+	{"extension-crash", "E9", "", ExtensionCrash},
+	{"extension-bigmachine", "E10", "", ExtensionBigMachine},
+}
+
+// FindExperiment resolves a user-supplied name against every experiment's
+// Name, ID, and Alias (case-insensitively). It returns nil when nothing
+// matches.
+func FindExperiment(name string) *Experiment {
+	for i := range Experiments {
+		e := &Experiments[i]
+		if strings.EqualFold(name, e.Name) || strings.EqualFold(name, e.ID) ||
+			(e.Alias != "" && strings.EqualFold(name, e.Alias)) {
+			return e
+		}
+	}
+	return nil
 }

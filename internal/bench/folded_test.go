@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestFoldedStacksGolden pins the profiler's folded-stack output for one
+// tiny deterministic run. The file regenerates with `go test -run
+// FoldedStacksGolden -update ./internal/bench/`; a diff means the cycle
+// attribution (or the cost model under it) changed and the change should
+// be reviewed, not that the test is flaky — same seed, same machine, same
+// bytes.
+func TestFoldedStacksGolden(t *testing.T) {
+	res, err := Run(Config{
+		Structure:     StructList,
+		Scheme:        SchemeStackTrack,
+		Threads:       2,
+		InitialSize:   50,
+		KeyRange:      100,
+		MeasureCycles: 200_000,
+		WarmupCycles:  50_000,
+		Profile:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Folded == "" {
+		t.Fatal("no folded output")
+	}
+	path := filepath.Join("testdata", "folded_golden.txt")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(res.Folded), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Folded != string(want) {
+		t.Fatalf("folded output diverged from %s (re-run with -update if intentional)\ngot:\n%s",
+			path, res.Folded)
+	}
+	// Shape checks independent of the exact numbers.
+	for _, line := range strings.Split(strings.TrimRight(res.Folded, "\n"), "\n") {
+		if !strings.HasPrefix(line, "t0;") && !strings.HasPrefix(line, "t1;") {
+			t.Fatalf("folded line without thread frame: %q", line)
+		}
+		if !strings.Contains(line, " ") {
+			t.Fatalf("folded line without cycle count: %q", line)
+		}
+	}
+}

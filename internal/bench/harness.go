@@ -6,12 +6,14 @@ package bench
 
 import (
 	"fmt"
+	"strings"
 
 	"stacktrack/internal/alloc"
 	"stacktrack/internal/core"
 	"stacktrack/internal/cost"
 	"stacktrack/internal/ds"
 	"stacktrack/internal/mem"
+	"stacktrack/internal/metrics"
 	"stacktrack/internal/prog"
 	"stacktrack/internal/reclaim"
 	"stacktrack/internal/rng"
@@ -94,6 +96,13 @@ type Config struct {
 	// scan/pointer-based schemes keep only the dead threads' references
 	// alive.
 	CrashThreads int
+
+	// Profile enables the virtual-cycle profiler: per-thread, per-phase
+	// (and per-block) cycle attribution into Result.Profile and
+	// Result.Folded. Profiling reads clock deltas only — it never
+	// charges cycles — so simulated results are bit-identical with it
+	// on or off.
+	Profile bool
 }
 
 // WithDefaults fills unset fields with the paper's parameters.
@@ -173,6 +182,16 @@ type Result struct {
 	Mem  mem.Stats  // transactional-memory events during measurement
 	Core core.Stats // StackTrack events during measurement (zero otherwise)
 
+	// Metrics is the full registry snapshot at measurement end: every
+	// counter, gauge, and histogram from all layers, keyed by name.
+	Metrics metrics.Snapshot
+
+	// Profile and Folded carry the virtual-cycle profile when
+	// Config.Profile is set: the merged phase/op summary and the
+	// per-thread folded-stack lines (flamegraph.pl input).
+	Profile *metrics.ProfileSummary
+	Folded  string
+
 	// Memory hygiene after the drain phase.
 	LiveObjects   uint64 // allocator objects still allocated
 	BaselineLive  uint64 // objects the structure legitimately retains
@@ -196,10 +215,12 @@ type Result struct {
 
 // instance bundles the live simulation objects of one run.
 type instance struct {
-	cfg Config
-	m   *mem.Memory
-	al  *alloc.Allocator
-	sc  *sched.Scheduler
+	cfg  Config
+	m    *mem.Memory
+	al   *alloc.Allocator
+	sc   *sched.Scheduler
+	reg  *metrics.Registry
+	prof *metrics.Profiler
 
 	threads []*sched.Thread
 	drivers []*prog.Driver
@@ -237,9 +258,13 @@ func newInstance(cfg Config) (*instance, error) {
 	}
 
 	in := &instance{cfg: cfg}
-	in.m = mem.New(mem.Config{Words: cfg.MemWords, Topology: cfg.Topology})
+	in.reg = metrics.NewRegistry()
+	in.m = mem.New(mem.Config{Words: cfg.MemWords, Topology: cfg.Topology, Metrics: in.reg})
 	in.al = alloc.New(in.m)
 	in.sc = sched.NewScheduler(in.m, cfg.Topology, cfg.Seed)
+	if cfg.Profile {
+		in.prof = metrics.NewProfiler()
+	}
 
 	if cfg.TraceEvents > 0 {
 		if cfg.RingTrace {
@@ -262,6 +287,9 @@ func newInstance(cfg Config) (*instance, error) {
 		}
 		if in.tracer != nil {
 			t.Tracer = in.tracer
+		}
+		if in.prof != nil {
+			t.Prof = in.prof.Thread(i)
 		}
 		in.threads = append(in.threads, t)
 	}
@@ -385,10 +413,12 @@ func (in *instance) runAll() (*Result, error) {
 		in.sc.Crash(tid)
 	}
 
-	// Measurement.
-	in.m.ResetStats()
-	if in.st != nil {
-		in.st.ResetStats()
+	// Measurement: zero every counter and histogram in the registry (the
+	// layers' Stats views read the same handles) and restart the
+	// profiler. Gauges — the allocator levels — survive the reset.
+	in.reg.Reset()
+	if in.prof != nil {
+		in.prof.Reset()
 	}
 	warmIns, warmDel, warmHits := in.succIns, in.succDel, in.hits
 	var opsBefore uint64
@@ -407,6 +437,16 @@ func (in *instance) runAll() (*Result, error) {
 	if in.st != nil {
 		res.Core = in.st.TotalStats()
 		res.AvgSegmentLimit = in.st.AvgSegmentLimit()
+	}
+	// Snapshot before the drain phase pollutes the counters.
+	res.Metrics = in.reg.Snapshot()
+	if in.prof != nil {
+		res.Profile = in.prof.Summary()
+		var sb strings.Builder
+		if err := in.prof.FoldedStacks(&sb); err != nil {
+			return nil, err
+		}
+		res.Folded = sb.String()
 	}
 	res.SuccInserts = in.succIns - warmIns
 	res.SuccDeletes = in.succDel - warmDel
@@ -449,7 +489,9 @@ func (in *instance) newRunner() prog.Runner {
 	if in.st != nil {
 		return core.NewRunner(in.st)
 	}
-	return &prog.PlainRunner{}
+	// Baseline runners observe op latency into the same histogram the
+	// StackTrack runner uses, so profiles are comparable across schemes.
+	return &prog.PlainRunner{Hist: in.reg.Histogram("ops.op_cycles", metrics.TimeHistBuckets)}
 }
 
 // buildScheme constructs the reclamation scheme.

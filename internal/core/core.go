@@ -11,6 +11,7 @@ import (
 
 	"stacktrack/internal/alloc"
 	"stacktrack/internal/cost"
+	"stacktrack/internal/metrics"
 	"stacktrack/internal/sched"
 	"stacktrack/internal/word"
 )
@@ -94,7 +95,8 @@ func (c Config) withDefaults() Config {
 }
 
 // Stats aggregates StackTrack-specific counters for one thread, feeding the
-// paper's Figures 4 and 5 and the scan-statistics table.
+// paper's Figures 4 and 5 and the scan-statistics table. It is a
+// read-only view assembled from the metrics registry (see coreCounters).
 type Stats struct {
 	Segments      uint64 // committed split segments
 	SegmentBlocks uint64 // basic blocks inside committed segments
@@ -116,13 +118,11 @@ type Stats struct {
 }
 
 // HistBucket returns the SegLenHist index for a segment of n blocks.
+// It is definitionally metrics.BucketOf with 8 buckets (pinned by a
+// test), so the view over the registry histogram reproduces the
+// original array exactly.
 func HistBucket(n int) int {
-	b := 0
-	for n > 1 && b < 7 {
-		n >>= 1
-		b++
-	}
-	return b
+	return metrics.BucketOf(uint64(n), 8)
 }
 
 // HistLabel names a SegLenHist bucket.
@@ -151,8 +151,48 @@ type tstate struct {
 	refsLen int // Go mirror of the slow-path reference-set length
 
 	runner *Runner // the thread's operation runner, for retire interception
+}
 
-	stats Stats
+// coreCounters holds the StackTrack layer's metric handles.
+type coreCounters struct {
+	segments      *metrics.Counter
+	segmentBlocks *metrics.Counter
+	opsFast       *metrics.Counter
+	opsSlow       *metrics.Counter
+	scans         *metrics.Counter
+	scanRestarts  *metrics.Counter
+	scannedWords  *metrics.Counter
+	scannedDepth  *metrics.Counter
+	scanTargets   *metrics.Counter
+	frees         *metrics.Counter
+	freed         *metrics.Counter
+	falseHeld     *metrics.Counter
+	// wastedCycles counts virtual cycles spent in segments that
+	// subsequently aborted — work hardware threw away. It is new with
+	// the metrics subsystem (no legacy Stats field).
+	wastedCycles *metrics.Counter
+	segLenHist   *metrics.Histogram
+	opCycles     *metrics.Histogram
+}
+
+func newCoreCounters(r *metrics.Registry) coreCounters {
+	return coreCounters{
+		segments:      r.Counter("core.segments"),
+		segmentBlocks: r.Counter("core.segment_blocks"),
+		opsFast:       r.Counter("core.ops_fast"),
+		opsSlow:       r.Counter("core.ops_slow"),
+		scans:         r.Counter("core.scans"),
+		scanRestarts:  r.Counter("core.scan_restarts"),
+		scannedWords:  r.Counter("core.scanned_words"),
+		scannedDepth:  r.Counter("core.scanned_depth"),
+		scanTargets:   r.Counter("core.scan_targets"),
+		frees:         r.Counter("core.frees"),
+		freed:         r.Counter("core.freed"),
+		falseHeld:     r.Counter("core.false_held"),
+		wastedCycles:  r.Counter("core.wasted_cycles"),
+		segLenHist:    r.Histogram("core.seg_len_blocks", 8),
+		opCycles:      r.Histogram("ops.op_cycles", metrics.TimeHistBuckets),
+	}
 }
 
 // StackTrack is the framework instance shared by all threads of a run. It
@@ -168,11 +208,16 @@ type StackTrack struct {
 	slowCount int
 
 	threads [64]*tstate
+
+	c coreCounters
 }
 
 // New creates a StackTrack instance over a scheduler and allocator.
 func New(sc *sched.Scheduler, al *alloc.Allocator, cfg Config) *StackTrack {
-	return &StackTrack{cfg: cfg.withDefaults(), sc: sc, al: al}
+	return &StackTrack{
+		cfg: cfg.withDefaults(), sc: sc, al: al,
+		c: newCoreCounters(sc.M.Metrics()),
+	}
 }
 
 // Name implements sched.Reclaimer.
@@ -193,37 +238,49 @@ func (st *StackTrack) state(t *sched.Thread) *tstate {
 	return ts
 }
 
-// ThreadStats returns the StackTrack counters of thread tid.
+// ThreadStats returns a snapshot of thread tid's StackTrack counters,
+// assembled from the metric lanes.
 func (st *StackTrack) ThreadStats(tid int) *Stats {
-	if st.threads[tid] == nil {
-		return &Stats{}
+	c := &st.c
+	s := &Stats{
+		Segments:      c.segments.Lane(tid),
+		SegmentBlocks: c.segmentBlocks.Lane(tid),
+		OpsFast:       c.opsFast.Lane(tid),
+		OpsSlow:       c.opsSlow.Lane(tid),
+		Scans:         c.scans.Lane(tid),
+		ScanRestarts:  c.scanRestarts.Lane(tid),
+		ScannedWords:  c.scannedWords.Lane(tid),
+		ScannedDepth:  c.scannedDepth.Lane(tid),
+		ScanTargets:   c.scanTargets.Lane(tid),
+		Frees:         c.frees.Lane(tid),
+		Freed:         c.freed.Lane(tid),
+		FalseHeld:     c.falseHeld.Lane(tid),
 	}
-	return &st.threads[tid].stats
+	for i := range s.SegLenHist {
+		s.SegLenHist[i] = c.segLenHist.LaneBucket(tid, i)
+	}
+	return s
 }
 
 // TotalStats sums StackTrack counters across threads.
 func (st *StackTrack) TotalStats() Stats {
-	var s Stats
-	for _, ts := range st.threads {
-		if ts == nil {
-			continue
-		}
-		o := ts.stats
-		s.Segments += o.Segments
-		s.SegmentBlocks += o.SegmentBlocks
-		s.OpsFast += o.OpsFast
-		s.OpsSlow += o.OpsSlow
-		s.Scans += o.Scans
-		s.ScanRestarts += o.ScanRestarts
-		s.ScannedWords += o.ScannedWords
-		s.ScannedDepth += o.ScannedDepth
-		s.ScanTargets += o.ScanTargets
-		s.Frees += o.Frees
-		s.Freed += o.Freed
-		s.FalseHeld += o.FalseHeld
-		for i := range o.SegLenHist {
-			s.SegLenHist[i] += o.SegLenHist[i]
-		}
+	c := &st.c
+	s := Stats{
+		Segments:      c.segments.Value(),
+		SegmentBlocks: c.segmentBlocks.Value(),
+		OpsFast:       c.opsFast.Value(),
+		OpsSlow:       c.opsSlow.Value(),
+		Scans:         c.scans.Value(),
+		ScanRestarts:  c.scanRestarts.Value(),
+		ScannedWords:  c.scannedWords.Value(),
+		ScannedDepth:  c.scannedDepth.Value(),
+		ScanTargets:   c.scanTargets.Value(),
+		Frees:         c.frees.Value(),
+		Freed:         c.freed.Value(),
+		FalseHeld:     c.falseHeld.Value(),
+	}
+	for i := range s.SegLenHist {
+		s.SegLenHist[i] = c.segLenHist.Bucket(i)
 	}
 	return s
 }
@@ -231,11 +288,22 @@ func (st *StackTrack) TotalStats() Stats {
 // ResetStats zeroes all StackTrack counters (between measurement phases).
 // Predictor state is preserved — convergence carries across phases.
 func (st *StackTrack) ResetStats() {
-	for _, ts := range st.threads {
-		if ts != nil {
-			ts.stats = Stats{}
-		}
-	}
+	c := &st.c
+	c.segments.Reset()
+	c.segmentBlocks.Reset()
+	c.opsFast.Reset()
+	c.opsSlow.Reset()
+	c.scans.Reset()
+	c.scanRestarts.Reset()
+	c.scannedWords.Reset()
+	c.scannedDepth.Reset()
+	c.scanTargets.Reset()
+	c.frees.Reset()
+	c.freed.Reset()
+	c.falseHeld.Reset()
+	c.wastedCycles.Reset()
+	c.segLenHist.Reset()
+	c.opCycles.Reset()
 }
 
 // AvgSegmentLimit reports the predictor's current average split length
@@ -291,7 +359,7 @@ func (st *StackTrack) Protect(*sched.Thread, int, word.Addr) {}
 // path, plain phases) it enters the free set immediately.
 func (st *StackTrack) Retire(t *sched.Thread, p word.Addr) {
 	ts := st.state(t)
-	ts.stats.Frees++
+	st.c.frees.Inc(t.ID)
 	if ts.runner != nil && ts.runner.inTx {
 		ts.runner.retireInTx(p)
 		return

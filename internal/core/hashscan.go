@@ -52,7 +52,7 @@ func (st *StackTrack) startHashedScan(t *sched.Thread) *hashedScanState {
 		held:       make(map[word.Addr]struct{}, 64),
 	}
 	ts.freeSet = ts.freeSet[:0]
-	ts.stats.Scans++
+	st.c.scans.Inc(t.ID)
 	t.Trace(sched.TraceScanStart, uint64(len(s.ptrs)))
 	return s
 }
@@ -74,7 +74,6 @@ func (s *hashedScanState) step(t *sched.Thread) bool {
 		}
 		return true
 	}
-	ts := s.st.state(t)
 	v := s.victims[s.ti]
 
 	switch s.phase {
@@ -90,7 +89,7 @@ func (s *hashedScanState) step(t *sched.Thread) bool {
 			s.sp = sched.StackWords
 		}
 		s.pos = 0
-		ts.stats.ScanTargets++
+		s.st.c.scanTargets.Inc(t.ID)
 		s.phase = phaseStack
 
 	case phaseStack:
@@ -100,8 +99,8 @@ func (s *hashedScanState) step(t *sched.Thread) bool {
 		}
 		for ; s.pos < end; s.pos++ {
 			s.note(t.LoadPlain(v.StackBase + word.Addr(s.pos)))
-			ts.stats.ScannedWords++
-			ts.stats.ScannedDepth++
+			s.st.c.scannedWords.Inc(t.ID)
+			s.st.c.scannedDepth.Inc(t.ID)
 		}
 		chargeWords(t, s.st.cfg.ScanChunkWords)
 		if s.pos >= s.sp {
@@ -111,7 +110,7 @@ func (s *hashedScanState) step(t *sched.Thread) bool {
 	case phaseRegs:
 		for i := 0; i < sched.NumRegs; i++ {
 			s.note(t.LoadPlain(v.RegsBase + word.Addr(i)))
-			ts.stats.ScannedWords++
+			s.st.c.scannedWords.Inc(t.ID)
 		}
 		chargeWords(t, sched.NumRegs)
 		if s.slowActive {
@@ -132,7 +131,7 @@ func (s *hashedScanState) step(t *sched.Thread) bool {
 		}
 		for ; s.pos < end; s.pos++ {
 			s.note(t.LoadPlain(v.RefsBase + word.Addr(s.pos)))
-			ts.stats.ScannedWords++
+			s.st.c.scannedWords.Inc(t.ID)
 		}
 		chargeWords(t, s.st.cfg.ScanChunkWords)
 		if s.pos >= s.refsLen {
@@ -144,7 +143,7 @@ func (s *hashedScanState) step(t *sched.Thread) bool {
 		operPost := t.LoadPlain(v.OperCntAddr())
 		if s.operPre == operPost && s.htmPre != htmPost {
 			// Re-inspect; entries already hashed stay (conservative).
-			ts.stats.ScanRestarts++
+			s.st.c.scanRestarts.Inc(t.ID)
 			s.htmPre = t.LoadPlain(v.SplitsAddr())
 			s.sp = int(t.LoadPlain(v.SPAddr()))
 			if s.sp > sched.StackWords {
@@ -166,12 +165,12 @@ func (s *hashedScanState) finish(t *sched.Thread) {
 	var freed uint64
 	for _, p := range s.ptrs {
 		if _, live := s.held[p]; live {
-			ts.stats.FalseHeld++
+			s.st.c.falseHeld.Inc(t.ID)
 			ts.freeSet = append(ts.freeSet, p)
 			continue
 		}
 		t.FreeNow(p)
-		ts.stats.Freed++
+		s.st.c.freed.Inc(t.ID)
 		freed++
 	}
 	t.Trace(sched.TraceScanEnd, freed)

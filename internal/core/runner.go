@@ -17,6 +17,7 @@ import (
 
 	"stacktrack/internal/cost"
 	"stacktrack/internal/mem"
+	"stacktrack/internal/metrics"
 	"stacktrack/internal/prog"
 	"stacktrack/internal/sched"
 	"stacktrack/internal/word"
@@ -60,6 +61,11 @@ type Runner struct {
 	// Nodes retired inside the current segment; they enter the free set
 	// only after the segment (and thus the unlink) commits.
 	retirePending []word.Addr
+
+	// Virtual-time marks for the profiler and the wasted-cycles
+	// counter. They never feed back into charging.
+	opStartV  cost.Cycles
+	segStartV cost.Cycles
 }
 
 // NewRunner creates a StackTrack runner bound to framework st.
@@ -75,6 +81,13 @@ func (r *Runner) Start(t *sched.Thread, op *prog.Op) {
 	}
 	st := r.st
 	st.state(t).runner = r
+	r.opStartV = t.VTime()
+	// Op setup (activity registration, SPLIT_INIT stores) is tx-begin
+	// work; the fence inside is leaf-attributed to its own phase.
+	var sp metrics.Span
+	if t.Prof != nil {
+		sp = t.Prof.SpanStart()
+	}
 	st.BeginOp(t, op.ID)
 	t.Trace(sched.TraceOpStart, uint64(op.ID))
 
@@ -91,6 +104,9 @@ func (r *Runner) Start(t *sched.Thread, op *prog.Op) {
 	// counter write is ordered before any segment commit (Alg. 2).
 	t.StorePlain(t.SplitsAddr(), 0)
 	t.Fence()
+	if t.Prof != nil {
+		t.Prof.SpanPhase(sp, metrics.PhaseTxBegin, uint64(t.VTime()-r.opStartV))
+	}
 
 	if st.cfg.ForceSlowPct > 0 && t.Rng.Intn(100) < st.cfg.ForceSlowPct {
 		// Figure 5 experiment: force this operation onto the slow path.
@@ -106,6 +122,15 @@ func (r *Runner) Start(t *sched.Thread, op *prog.Op) {
 func (r *Runner) Step(t *sched.Thread) bool {
 	switch r.state {
 	case stScan:
+		if t.Prof != nil {
+			sp := t.Prof.SpanStart()
+			v0 := t.VTime()
+			// Frees inside the scan are leaf-attributed to the free
+			// phase; the span keeps only the inspection itself.
+			defer func() {
+				t.Prof.SpanPhase(sp, metrics.PhaseScan, uint64(t.VTime()-v0))
+			}()
+		}
 		if r.scan.step(t) {
 			r.scan = nil
 			if r.opDone {
@@ -150,8 +175,18 @@ func (r *Runner) stepUnsupported(t *sched.Thread) bool {
 			return false
 		}
 	}
+	cur := r.pc
+	var sp metrics.Span
+	var v0 cost.Cycles
+	if t.Prof != nil {
+		sp = t.Prof.SpanStart()
+		v0 = t.VTime()
+	}
 	t.Charge(cost.Block)
 	r.pc = r.op.Blocks[r.pc](t, r.frame)
+	if t.Prof != nil {
+		t.Prof.SpanBlock(sp, r.op.ID, cur, r.op.Name, uint64(t.VTime()-v0))
+	}
 	if r.pc == prog.Done {
 		if r.st.NeedScan(t) {
 			r.beginScan(t, stFast)
@@ -183,6 +218,7 @@ func (r *Runner) guardedCommit(t *sched.Thread, final bool) (abort mem.AbortReas
 
 // commitSegment performs SPLIT_COMMIT; the caller handles abort recovery.
 func (r *Runner) commitSegment(t *sched.Thread, final bool) mem.AbortReason {
+	v0 := t.VTime()
 	if !final {
 		t.ExposeRegisters()
 		t.Store(t.SplitsAddr(), uint64(r.splitIdx+1))
@@ -191,6 +227,9 @@ func (r *Runner) commitSegment(t *sched.Thread, final bool) mem.AbortReason {
 		return reason
 	}
 	t.Charge(cost.TxCommit)
+	// Leaf-attributed so the expose/commit cost is excluded from the
+	// enclosing block span.
+	t.ProfLeaf(metrics.PhaseTxCommit, t.VTime()-v0)
 	r.afterCommit(t)
 	return mem.NoAbort
 }
@@ -203,6 +242,8 @@ func (r *Runner) splitStart(t *sched.Thread) {
 	t.Tx = t.M.Begin(t.ID)
 	t.Mode = sched.ModeFast
 	t.Charge(cost.TxBegin)
+	t.ProfLeaf(metrics.PhaseTxBegin, cost.TxBegin)
+	r.segStartV = t.VTime()
 	r.inTx = true
 	r.segPC = r.pc
 	r.segSP = t.SP()
@@ -212,6 +253,18 @@ func (r *Runner) splitStart(t *sched.Thread) {
 // fastWork runs one basic block and, when a checkpoint fires, the segment
 // commit. Any transactional abort surfaces as the returned reason.
 func (r *Runner) fastWork(t *sched.Thread) (finished bool, abort mem.AbortReason) {
+	if t.Prof != nil {
+		// Deferred so the abort-panic path attributes too; runs after
+		// the recover below (LIFO), when the panic is already handled.
+		// Commit/fence/free leaves inside claim their own cycles.
+		sp := t.Prof.SpanStart()
+		v0 := t.VTime()
+		blockPC := r.pc
+		op := r.op // finishOp may clear r.op before the defer runs
+		defer func() {
+			t.Prof.SpanBlock(sp, op.ID, blockPC, op.Name, uint64(t.VTime()-v0))
+		}()
+	}
 	defer func() {
 		if rec := recover(); rec != nil {
 			ae, ok := rec.(sched.AbortError)
@@ -282,9 +335,10 @@ func (r *Runner) afterCommit(t *sched.Thread) {
 	t.ClearTxAllocs()
 
 	ts.onSegCommit(r.st.cfg, r.op.ID, r.splitIdx)
-	ts.stats.Segments++
-	ts.stats.SegmentBlocks += uint64(r.steps)
-	ts.stats.SegLenHist[HistBucket(r.steps)]++
+	c := &r.st.c
+	c.segments.Inc(t.ID)
+	c.segmentBlocks.Add(t.ID, uint64(r.steps))
+	c.segLenHist.Observe(t.ID, uint64(r.steps))
 	t.Trace(sched.TraceSegCommit, uint64(r.steps))
 	r.splitIdx++
 	r.segFails = 0
@@ -301,6 +355,11 @@ func (r *Runner) afterCommit(t *sched.Thread) {
 // MANAGE_SPLIT_ABORT policy, falling back to the slow path when a one-block
 // segment keeps failing.
 func (r *Runner) handleAbort(t *sched.Thread, reason mem.AbortReason) {
+	v0 := t.VTime()
+	if v0 > r.segStartV {
+		// Everything since SPLIT_START was thrown away by the abort.
+		r.st.c.wastedCycles.Add(t.ID, uint64(v0-r.segStartV))
+	}
 	t.M.FinishAbort(t.Tx)
 	t.Charge(cost.TxAbort)
 	t.Mode = sched.ModePlain
@@ -313,6 +372,7 @@ func (r *Runner) handleAbort(t *sched.Thread, reason mem.AbortReason) {
 	t.SetSP(r.segSP)
 	r.pc = r.segPC
 	t.Trace(sched.TraceSegAbort, uint64(reason))
+	t.ProfLeaf(metrics.PhaseTxAbort, t.VTime()-v0)
 
 	ts := r.st.state(t)
 	ts.onSegAbort(r.st.cfg, r.op.ID, r.splitIdx)
@@ -335,8 +395,18 @@ func (r *Runner) handleAbort(t *sched.Thread, reason mem.AbortReason) {
 // --- Slow path --------------------------------------------------------------
 
 func (r *Runner) stepSlow(t *sched.Thread) bool {
+	cur := r.pc
+	var sp metrics.Span
+	var v0 cost.Cycles
+	if t.Prof != nil {
+		sp = t.Prof.SpanStart()
+		v0 = t.VTime()
+	}
 	t.Charge(cost.Block)
 	r.pc = r.op.Blocks[r.pc](t, r.frame)
+	if t.Prof != nil {
+		t.Prof.SpanBlock(sp, r.op.ID, cur, r.op.Name, uint64(t.VTime()-v0))
+	}
 
 	if r.pc == prog.Done {
 		if r.st.NeedScan(t) {
@@ -361,18 +431,22 @@ func (r *Runner) beginScan(t *sched.Thread, resume runnerState) {
 }
 
 func (r *Runner) finishOp(t *sched.Thread) bool {
-	ts := r.st.state(t)
 	if r.usedSlow {
-		ts.stats.OpsSlow++
+		r.st.c.opsSlow.Inc(t.ID)
 	} else {
-		ts.stats.OpsFast++
+		r.st.c.opsFast.Inc(t.ID)
 	}
+	v0 := t.VTime()
 	if t.Mode == sched.ModeSlow {
 		r.st.slowCommit(t)
+		// Slow-path publication/teardown is commit work, not block
+		// work (the enclosing span, if any, must exclude it).
+		t.ProfLeaf(metrics.PhaseTxCommit, t.VTime()-v0)
 	}
 	t.PopFrame(r.frame)
 	r.st.EndOp(t)
 	t.Trace(sched.TraceOpEnd, t.Reg(prog.RegResult))
+	r.st.c.opCycles.Observe(t.ID, uint64(t.VTime()-r.opStartV))
 	r.op = nil
 	r.state = stIdle
 	return true

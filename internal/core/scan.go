@@ -71,7 +71,7 @@ func (st *StackTrack) startPtrScan(t *sched.Thread) *scanState {
 		slowActive: st.slowCount > 0,
 	}
 	ts.freeSet = ts.freeSet[:0]
-	ts.stats.Scans++
+	st.c.scans.Inc(t.ID)
 	t.Trace(sched.TraceScanStart, uint64(len(s.ptrs)))
 	return s
 }
@@ -97,7 +97,6 @@ func (s *scanState) step(t *sched.Thread) bool {
 		s.end(t)
 		return true
 	}
-	ts := s.st.state(t)
 	ptr := s.ptrs[s.pi]
 
 	switch s.phase {
@@ -125,7 +124,7 @@ func (s *scanState) step(t *sched.Thread) bool {
 		}
 		s.pos = 0
 		s.hit = false
-		ts.stats.ScanTargets++
+		s.st.c.scanTargets.Inc(t.ID)
 		s.phase = phaseStack
 
 	case phaseStack:
@@ -136,8 +135,8 @@ func (s *scanState) step(t *sched.Thread) bool {
 		}
 		for ; s.pos < end; s.pos++ {
 			w := t.LoadPlain(v.StackBase + word.Addr(s.pos))
-			ts.stats.ScannedWords++
-			ts.stats.ScannedDepth++
+			s.st.c.scannedWords.Inc(t.ID)
+			s.st.c.scannedDepth.Inc(t.ID)
 			if s.matches(w, ptr) {
 				s.hit = true
 				break
@@ -156,7 +155,7 @@ func (s *scanState) step(t *sched.Thread) bool {
 		v := s.victims[s.ti]
 		for i := 0; i < sched.NumRegs; i++ {
 			w := t.LoadPlain(v.RegsBase + word.Addr(i))
-			ts.stats.ScannedWords++
+			s.st.c.scannedWords.Inc(t.ID)
 			if s.matches(w, ptr) {
 				s.hit = true
 				break
@@ -186,7 +185,7 @@ func (s *scanState) step(t *sched.Thread) bool {
 		}
 		for ; s.pos < end; s.pos++ {
 			w := t.LoadPlain(v.RefsBase + word.Addr(s.pos))
-			ts.stats.ScannedWords++
+			s.st.c.scannedWords.Inc(t.ID)
 			if s.matches(w, ptr) {
 				s.hit = true
 				break
@@ -209,7 +208,7 @@ func (s *scanState) step(t *sched.Thread) bool {
 			// The victim committed a segment while we were looking:
 			// its stack may have changed under us — restart the
 			// inspection of this thread (Alg. 1 line 27).
-			ts.stats.ScanRestarts++
+			s.st.c.scanRestarts.Inc(t.ID)
 			s.htmPre = t.LoadPlain(v.SplitsAddr())
 			s.sp = int(t.LoadPlain(v.SPAddr()))
 			if s.sp > sched.StackWords {
@@ -232,7 +231,7 @@ func (s *scanState) step(t *sched.Thread) bool {
 func (s *scanState) markFound(t *sched.Thread) {
 	s.found[s.pi] = true
 	ts := s.st.state(t)
-	ts.stats.FalseHeld++
+	s.st.c.falseHeld.Inc(t.ID)
 	ts.freeSet = append(ts.freeSet, s.ptrs[s.pi])
 	s.advance()
 }
@@ -241,7 +240,7 @@ func (s *scanState) markFound(t *sched.Thread) {
 // without a hit: the object is provably unreferenced and is freed.
 func (s *scanState) finishPtr(t *sched.Thread) {
 	t.FreeNow(s.ptrs[s.pi])
-	s.st.state(t).stats.Freed++
+	s.st.c.freed.Inc(t.ID)
 	s.freed++
 	s.advance()
 }

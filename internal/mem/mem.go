@@ -39,6 +39,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"stacktrack/internal/metrics"
 	"stacktrack/internal/topo"
 	"stacktrack/internal/word"
 )
@@ -69,6 +70,10 @@ type Config struct {
 	// Pressure supplies dynamic sibling-activity information; nil means
 	// no hyperthread pressure.
 	Pressure Pressure
+	// Metrics is the registry this memory (and the layers built on top
+	// of it, which obtain it via Memory.Metrics) records into. nil
+	// creates a private registry, so standalone uses stay unchanged.
+	Metrics *metrics.Registry
 }
 
 // Memory is the simulated memory system. All methods take the simulated
@@ -96,7 +101,8 @@ type Memory struct {
 	topology topo.Topology
 	pressure Pressure
 
-	stats [MaxThreads]Stats
+	reg *metrics.Registry
+	c   memCounters
 }
 
 // New creates a Memory. It panics if the configuration is invalid, since a
@@ -111,6 +117,9 @@ func New(cfg Config) *Memory {
 	if cfg.Pressure == nil {
 		cfg.Pressure = noPressure{}
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
 	lines := (cfg.Words + word.LineWords - 1) / word.LineWords
 	m := &Memory{
 		words:       make([]uint64, cfg.Words),
@@ -120,9 +129,17 @@ func New(cfg Config) *Memory {
 		lastW:       make([]int32, lines),
 		topology:    cfg.Topology,
 		pressure:    cfg.Pressure,
+		reg:         cfg.Metrics,
+		c:           newMemCounters(cfg.Metrics),
 	}
 	return m
 }
+
+// Metrics returns the registry this memory records into. The other
+// layers (alloc, sched, core) fetch it from here so one registry spans
+// a whole simulation instance without threading it through every
+// constructor.
+func (m *Memory) Metrics() *metrics.Registry { return m.reg }
 
 // readTouch updates the coherence state for a read by tid and reports
 // whether it missed (line not in tid's cache).
@@ -132,7 +149,7 @@ func (m *Memory) readTouch(tid int, l uint64) bool {
 		return false
 	}
 	m.sharers[l] |= bit
-	m.stats[tid].CoherenceMisses++
+	m.c.coherenceMisses.Inc(tid)
 	return true
 }
 
@@ -144,7 +161,7 @@ func (m *Memory) writeTouch(tid int, l uint64) bool {
 	m.lastW[l] = int32(tid + 1)
 	m.sharers[l] = bit
 	if !hit {
-		m.stats[tid].CoherenceMisses++
+		m.c.coherenceMisses.Inc(tid)
 	}
 	return !hit
 }
@@ -161,24 +178,18 @@ func (m *Memory) SetPressure(p Pressure) {
 // Size returns the memory size in words.
 func (m *Memory) Size() int { return len(m.words) }
 
-// Stats returns the accumulated statistics for thread tid.
-func (m *Memory) Stats(tid int) *Stats { return &m.stats[tid] }
+// Stats returns a snapshot of thread tid's statistics, assembled from
+// the underlying metric lanes. The result is a copy: callers read it,
+// they do not mutate memory state through it.
+func (m *Memory) Stats(tid int) *Stats { return m.c.thread(tid) }
 
 // TotalStats sums statistics across all threads.
-func (m *Memory) TotalStats() Stats {
-	var t Stats
-	for i := range m.stats {
-		t.Add(&m.stats[i])
-	}
-	return t
-}
+func (m *Memory) TotalStats() Stats { return m.c.total() }
 
-// ResetStats zeroes all statistics (used between measurement phases).
-func (m *Memory) ResetStats() {
-	for i := range m.stats {
-		m.stats[i] = Stats{}
-	}
-}
+// ResetStats zeroes the memory layer's statistics (used between
+// measurement phases). Only this layer's metrics are touched; other
+// layers sharing the registry reset their own.
+func (m *Memory) ResetStats() { m.c.reset() }
 
 func (m *Memory) check(a word.Addr) {
 	if uint64(a) >= uint64(len(m.words)) {
@@ -192,7 +203,7 @@ func (m *Memory) check(a word.Addr) {
 // was a coherence miss.
 func (m *Memory) ReadPlain(tid int, a word.Addr) (uint64, bool) {
 	m.check(a)
-	m.stats[tid].PlainReads++
+	m.c.plainReads.Inc(tid)
 	l := word.Line(a)
 	if m.liveTx > 0 {
 		if w := m.lineWriter[l]; w != 0 && int(w-1) != tid {
@@ -207,7 +218,7 @@ func (m *Memory) ReadPlain(tid int, a word.Addr) (uint64, bool) {
 // reports whether acquiring the line missed.
 func (m *Memory) WritePlain(tid int, a word.Addr, v uint64) bool {
 	m.check(a)
-	m.stats[tid].PlainWrites++
+	m.c.plainWrites.Inc(tid)
 	l := word.Line(a)
 	if m.liveTx > 0 {
 		m.doomLineConflicts(tid, l)
@@ -222,8 +233,8 @@ func (m *Memory) WritePlain(tid int, a word.Addr, v uint64) bool {
 // line is acquired for write either way).
 func (m *Memory) CASPlain(tid int, a word.Addr, old, new uint64) (ok, miss bool) {
 	m.check(a)
-	m.stats[tid].PlainReads++
-	m.stats[tid].PlainWrites++
+	m.c.plainReads.Inc(tid)
+	m.c.plainWrites.Inc(tid)
 	l := word.Line(a)
 	if m.liveTx > 0 {
 		m.doomLineConflicts(tid, l)
@@ -240,8 +251,8 @@ func (m *Memory) CASPlain(tid int, a word.Addr, old, new uint64) (ok, miss bool)
 // value and whether the access missed.
 func (m *Memory) AddPlain(tid int, a word.Addr, delta uint64) (uint64, bool) {
 	m.check(a)
-	m.stats[tid].PlainReads++
-	m.stats[tid].PlainWrites++
+	m.c.plainReads.Inc(tid)
+	m.c.plainWrites.Inc(tid)
 	l := word.Line(a)
 	if m.liveTx > 0 {
 		m.doomLineConflicts(tid, l)

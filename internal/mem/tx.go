@@ -118,7 +118,7 @@ func (m *Memory) Begin(tid int) *Tx {
 	tx.reason = NoAbort
 	tx.buf.reset()
 	m.liveTx++
-	m.stats[tid].TxBegins++
+	m.c.txBegins.Inc(tid)
 	return tx
 }
 
@@ -151,7 +151,7 @@ func (m *Memory) TxRead(tx *Tx, a word.Addr) (uint64, bool, AbortReason) {
 	if tx.state != TxActive {
 		return 0, false, tx.reason
 	}
-	m.stats[tx.tid].TxReads++
+	m.c.txReads.Inc(tx.tid)
 	if v, ok := tx.buf.get(a); ok { // store-to-load forwarding
 		return v, false, NoAbort
 	}
@@ -168,7 +168,7 @@ func (m *Memory) TxRead(tx *Tx, a word.Addr) (uint64, bool, AbortReason) {
 		}
 		m.lineReaders[l] |= bit
 		tx.readLines = append(tx.readLines, l)
-		m.stats[tx.tid].LinesRead++
+		m.c.linesRead.Inc(tx.tid)
 	}
 	return m.words[a], m.readTouch(tx.tid, l), NoAbort
 }
@@ -182,7 +182,7 @@ func (m *Memory) TxWrite(tx *Tx, a word.Addr, v uint64) (bool, AbortReason) {
 	if tx.state != TxActive {
 		return false, tx.reason
 	}
-	m.stats[tx.tid].TxWrites++
+	m.c.txWrites.Inc(tx.tid)
 	l := word.Line(a)
 	miss := false
 	if m.lineWriter[l] != int32(tx.tid+1) {
@@ -193,7 +193,7 @@ func (m *Memory) TxWrite(tx *Tx, a word.Addr, v uint64) (bool, AbortReason) {
 		m.doomLineConflicts(tx.tid, l)
 		m.lineWriter[l] = int32(tx.tid + 1)
 		tx.writeLines = append(tx.writeLines, l)
-		m.stats[tx.tid].LinesWritten++
+		m.c.linesWritten.Inc(tx.tid)
 		miss = m.writeTouch(tx.tid, l)
 	}
 	if !tx.buf.put(a, v) {
@@ -242,13 +242,13 @@ func (m *Memory) FinishAbort(tx *Tx) AbortReason {
 	reason := tx.reason
 	switch reason {
 	case Conflict:
-		m.stats[tx.tid].ConflictAborts++
+		m.c.abortsConflict.Inc(tx.tid)
 	case Capacity:
-		m.stats[tx.tid].CapacityAborts++
+		m.c.abortsCapacity.Inc(tx.tid)
 	case Preempt:
-		m.stats[tx.tid].PreemptAborts++
+		m.c.abortsPreempt.Inc(tx.tid)
 	default:
-		m.stats[tx.tid].ExplicitAborts++
+		m.c.abortsExplicit.Inc(tx.tid)
 	}
 	tx.state = TxIdle
 	return reason
@@ -266,11 +266,11 @@ func (m *Memory) Commit(tx *Tx) AbortReason {
 		v, _ := tx.buf.get(a)
 		m.words[a] = v
 	}
-	m.stats[tx.tid].CommittedActions += uint64(len(tx.buf.order))
+	m.c.committedActions.Add(tx.tid, uint64(len(tx.buf.order)))
 	m.releaseLines(tx)
 	m.liveTx--
 	tx.state = TxIdle
-	m.stats[tx.tid].Commits++
+	m.c.commits.Inc(tx.tid)
 	return NoAbort
 }
 

@@ -15,6 +15,7 @@ package prog
 
 import (
 	"stacktrack/internal/cost"
+	"stacktrack/internal/metrics"
 	"stacktrack/internal/sched"
 )
 
@@ -94,6 +95,13 @@ type PlainRunner struct {
 	pc    int
 	frame sched.Frame
 	busy  bool
+
+	// Hist, when non-nil, receives each completed operation's virtual
+	// latency in cycles (the bench harness installs the shared
+	// "ops.op_cycles" histogram here).
+	Hist *metrics.Histogram
+
+	opStartV cost.Cycles
 }
 
 // Start implements Runner.
@@ -101,6 +109,7 @@ func (r *PlainRunner) Start(t *sched.Thread, op *Op) {
 	if r.busy {
 		panic("prog: Start while an operation is in progress")
 	}
+	r.opStartV = t.VTime()
 	t.Scheme.BeginOp(t, op.ID)
 	t.Trace(sched.TraceOpStart, uint64(op.ID))
 	r.op = op
@@ -114,14 +123,30 @@ func (r *PlainRunner) Step(t *sched.Thread) bool {
 	if !r.busy {
 		panic("prog: Step without an operation in progress")
 	}
+	cur := r.pc
+	var sp metrics.Span
+	var v0 cost.Cycles
+	if t.Prof != nil {
+		sp = t.Prof.SpanStart()
+		v0 = t.VTime()
+	}
 	t.Charge(cost.Block)
 	r.pc = r.op.Blocks[r.pc](t, r.frame)
 	if r.pc == Done {
 		t.PopFrame(r.frame)
 		t.Scheme.EndOp(t)
 		t.Trace(sched.TraceOpEnd, t.Reg(RegResult))
+		if t.Prof != nil {
+			t.Prof.SpanBlock(sp, r.op.ID, cur, r.op.Name, uint64(t.VTime()-v0))
+		}
+		if r.Hist != nil {
+			r.Hist.Observe(t.ID, uint64(t.VTime()-r.opStartV))
+		}
 		r.busy = false
 		return true
+	}
+	if t.Prof != nil {
+		t.Prof.SpanBlock(sp, r.op.ID, cur, r.op.Name, uint64(t.VTime()-v0))
 	}
 	return false
 }

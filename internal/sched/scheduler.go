@@ -5,6 +5,7 @@ import (
 
 	"stacktrack/internal/cost"
 	"stacktrack/internal/mem"
+	"stacktrack/internal/metrics"
 	"stacktrack/internal/rng"
 	"stacktrack/internal/topo"
 )
@@ -69,12 +70,24 @@ type Scheduler struct {
 	jitter *rng.Rand
 	policy Policy
 	cands  []int // reusable runnable-candidate buffer
+
+	ctrPreempts *metrics.Counter
+	ctrSwitches *metrics.Counter
+	ctrPolls    *metrics.Counter
+	ctrCrashes  *metrics.Counter
 }
 
 // NewScheduler creates a scheduler over m with the given topology and
 // registers itself as the memory's cache-pressure source.
 func NewScheduler(m *mem.Memory, tp topo.Topology, seed uint64) *Scheduler {
-	s := &Scheduler{M: m, Topo: tp, jitter: rng.New(seed)}
+	reg := m.Metrics()
+	s := &Scheduler{
+		M: m, Topo: tp, jitter: rng.New(seed),
+		ctrPreempts: reg.Counter("sched.preemptions"),
+		ctrSwitches: reg.Counter("sched.context_switches"),
+		ctrPolls:    reg.Counter("sched.blocked_polls"),
+		ctrCrashes:  reg.Counter("sched.crashes"),
+	}
 	n := tp.Contexts()
 	s.contexts = make([]*hwContext, n)
 	s.siblings = make([][]int, n)
@@ -213,6 +226,7 @@ func (s *Scheduler) Crash(tid int) {
 	}
 	s.M.AbortTx(tid, mem.Preempt)
 	t.crashed = true
+	s.ctrCrashes.Inc(tid)
 	ctx := s.contexts[t.hw]
 	for i, q := range ctx.queue {
 		if q == t {
@@ -275,6 +289,10 @@ func (s *Scheduler) Run(until cost.Cycles) {
 					t.pollBackoff++
 				}
 				t.Charge(c)
+				s.ctrPolls.Inc(t.ID)
+				if t.Prof != nil {
+					t.Prof.AddPhase(metrics.PhaseBlocked, uint64(c))
+				}
 				ctx.clock = t.vtime
 				continue
 			}
@@ -289,7 +307,11 @@ func (s *Scheduler) Run(until cost.Cycles) {
 		if s.Topo.HTSlowdown > 0 && s.SiblingActive(t.ID) {
 			// Shared execution units: the step takes longer while the
 			// sibling hyperthread is busy.
-			t.Charge(cost.Cycles(float64(t.vtime-before) * s.Topo.HTSlowdown))
+			extra := cost.Cycles(float64(t.vtime-before) * s.Topo.HTSlowdown)
+			t.Charge(extra)
+			if t.Prof != nil {
+				t.Prof.AddPhase(metrics.PhaseHTSlow, uint64(extra))
+			}
 		}
 		s.maybeSiblingEvict(t)
 		ctx.clock = t.vtime
@@ -352,6 +374,10 @@ func (s *Scheduler) rotate(ctx *hwContext, until cost.Cycles) {
 	s.M.AbortTx(out.ID, mem.Preempt)
 	out.Trace(TracePreempt, 0)
 	out.Charge(cost.ContextSwitch)
+	s.ctrPreempts.Inc(out.ID)
+	if out.Prof != nil {
+		out.Prof.AddPhase(metrics.PhasePreempt, uint64(cost.ContextSwitch))
+	}
 	out.running = false
 	ctx.clock = maxCycles(ctx.clock, out.vtime)
 	copy(ctx.queue, ctx.queue[1:])
@@ -373,7 +399,13 @@ func (s *Scheduler) switchIn(ctx *hwContext, until cost.Cycles) {
 		return
 	}
 	in := ctx.queue[0]
+	was := in.vtime
 	in.vtime = maxCycles(in.vtime, ctx.clock) + cost.ContextSwitch
+	s.ctrSwitches.Inc(in.ID)
+	if in.Prof != nil {
+		// The jump covers descheduled time plus the switch-in cost.
+		in.Prof.AddPhase(metrics.PhasePreempt, uint64(in.vtime-was))
+	}
 	in.running = true
 	ctx.sliceStart = in.vtime
 	ctx.clock = in.vtime

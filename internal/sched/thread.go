@@ -26,6 +26,7 @@ import (
 	"stacktrack/internal/alloc"
 	"stacktrack/internal/cost"
 	"stacktrack/internal/mem"
+	"stacktrack/internal/metrics"
 	"stacktrack/internal/rng"
 	"stacktrack/internal/word"
 )
@@ -121,6 +122,11 @@ type Thread struct {
 
 	// Tracer, when non-nil, receives simulation events (see trace.go).
 	Tracer Tracer
+
+	// Prof, when non-nil, receives virtual-cycle attribution (see
+	// internal/metrics). The hooks only read clock deltas, so enabling
+	// profiling cannot change simulated results.
+	Prof *metrics.ThreadProfile
 
 	// Scheduler bookkeeping.
 	hw          int // hardware context index
@@ -315,7 +321,20 @@ func (t *Thread) StorePlain(a word.Addr, v uint64) {
 }
 
 // Fence charges a full memory fence.
-func (t *Thread) Fence() { t.vtime += cost.Fence }
+func (t *Thread) Fence() {
+	t.vtime += cost.Fence
+	if t.Prof != nil {
+		t.Prof.AddLeaf(metrics.PhaseFence, uint64(cost.Fence))
+	}
+}
+
+// ProfLeaf attributes c already-charged cycles to phase ph as a leaf
+// (claimed from any enclosing profiler span). No-op without a profile.
+func (t *Thread) ProfLeaf(ph metrics.Phase, c cost.Cycles) {
+	if t.Prof != nil {
+		t.Prof.AddLeaf(ph, uint64(c))
+	}
+}
 
 // --- Reclamation hooks ----------------------------------------------------
 
@@ -370,8 +389,14 @@ func (t *Thread) Alloc(n int) word.Addr {
 // reclaimers once an object is proven unreachable).
 func (t *Thread) FreeNow(p word.Addr) {
 	t.Trace(TraceFree, uint64(p))
+	before := t.vtime
 	t.vtime += cost.Free
 	t.A.Free(t.ID, p)
+	if t.Prof != nil {
+		// Includes the poison stores' cost, so the whole reclamation
+		// shows under the free phase rather than its caller's span.
+		t.Prof.AddLeaf(metrics.PhaseFree, uint64(t.vtime-before))
+	}
 }
 
 // --- Registers -------------------------------------------------------------

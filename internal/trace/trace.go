@@ -16,6 +16,7 @@ import (
 type Event struct {
 	VTime cost.Cycles
 	Tid   int
+	HW    int // hardware context the emitting thread was pinned to
 	Kind  sched.TraceKind
 	Arg   uint64
 }
@@ -52,7 +53,7 @@ func NewRingRecorder(capacity int) *Recorder {
 
 // TraceEvent implements sched.Tracer.
 func (r *Recorder) TraceEvent(t *sched.Thread, k sched.TraceKind, arg uint64) {
-	e := Event{VTime: t.VTime(), Tid: t.ID, Kind: k, Arg: arg}
+	e := Event{VTime: t.VTime(), Tid: t.ID, HW: t.HWContext(), Kind: k, Arg: arg}
 	if len(r.events) < r.cap {
 		r.events = append(r.events, e)
 		return
@@ -92,7 +93,12 @@ func (r *Recorder) Len() int { return len(r.events) }
 
 // Dump writes the timeline, one line per event:
 //
-//	vtime  tid  kind        arg
+//	00000000001234  t00/c00  kind        arg
+//
+// The virtual timestamp is fixed-width and zero-padded so lines from
+// several dumps sort chronologically under `sort`, and each line names the
+// emitting thread's hardware context (c<id>) so hyperthread-sibling
+// interference is visible in the narrative.
 func (r *Recorder) Dump(w io.Writer) error {
 	if r.ring && r.dropped > 0 {
 		if _, err := fmt.Fprintf(w, "(%d earlier events displaced past the %d-event ring)\n", r.dropped, r.cap); err != nil {
@@ -119,7 +125,7 @@ func (r *Recorder) Dump(w io.Writer) error {
 		default:
 			arg = fmt.Sprintf("%d", e.Arg)
 		}
-		if _, err := fmt.Fprintf(w, "%12d  t%-2d  %-10s  %s\n", e.VTime, e.Tid, e.Kind, arg); err != nil {
+		if _, err := fmt.Fprintf(w, "%014d  t%02d/c%02d  %-10s  %s\n", e.VTime, e.Tid, e.HW, e.Kind, arg); err != nil {
 			return err
 		}
 	}

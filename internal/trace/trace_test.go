@@ -1,6 +1,7 @@
 package trace_test
 
 import (
+	"regexp"
 	"strings"
 	"testing"
 
@@ -92,6 +93,36 @@ func TestDumpFormat(t *testing.T) {
 	}
 	if !strings.Contains(out, "dropped") {
 		t.Fatal("dump should report dropped events")
+	}
+}
+
+// TestDumpSortableTimestampsAndHWContext: every event line starts with a
+// fixed-width zero-padded virtual timestamp (so `sort` orders lines
+// chronologically) and names the emitting thread's hardware context.
+func TestDumpSortableTimestampsAndHWContext(t *testing.T) {
+	res := tracedRun(t, 50)
+	var sb strings.Builder
+	if err := res.Trace.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lineRe := regexp.MustCompile(`^\d{14}  t\d{2}/c\d{2}  `)
+	checked := 0
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if line == "" || strings.HasPrefix(line, "(") {
+			continue // drop/displacement notes
+		}
+		if !lineRe.MatchString(line) {
+			t.Fatalf("line not in sortable t/hw format: %q", line)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no event lines checked")
+	}
+	for _, e := range res.Trace.Events() {
+		if e.HW < 0 {
+			t.Fatalf("event lacks a hardware context: %+v", e)
+		}
 	}
 }
 
