@@ -8,9 +8,18 @@
 //
 //	stfuzz -ds skiplist -scheme hp -strategy pct -depth 3 -budget 30s -workers 4
 //
+// With -fork-heap the campaign instead fixes the workload seed, warms one
+// heap to the warmup boundary, checkpoints it (internal/snap), and forks
+// that snapshot across strategy seeds — every run skips the warmup. With
+// -resume FILE progress persists across invocations: completed seeds are
+// never redone, and seeds claimed by an interrupted campaign are re-issued.
+//
 // A failure is reported as a narrative and can be written out as a schedule
 // artifact (-out crash.schedule), optionally ddmin-minimized first
-// (-minimize). Replay mode re-runs a saved artifact instead of exploring:
+// (-minimize); -snap-out additionally writes a failing-state checkpoint
+// (.stsnap) positioned just before the schedule's last deviation, for
+// time-travel debugging with stsim -restore. Replay mode re-runs a saved
+// artifact instead of exploring:
 //
 //	stfuzz -replay crash.schedule -minimize
 //
@@ -27,6 +36,7 @@ import (
 
 	"stacktrack/internal/cost"
 	"stacktrack/internal/explore"
+	"stacktrack/internal/snap"
 )
 
 func main() {
@@ -50,10 +60,14 @@ func main() {
 		maxRuns = flag.Int("max-runs", 0, "stop after this many runs (0 = unlimited)")
 		workers = flag.Int("workers", 1, "parallel exploration workers (0 = GOMAXPROCS)")
 
+		forkHeap = flag.Bool("fork-heap", false, "fork one warmed-up heap across strategy seeds (fixed workload seed)")
+		resume   = flag.String("resume", "", "persist campaign progress to this file and resume from it")
+
 		replay     = flag.String("replay", "", "replay this schedule artifact instead of exploring")
 		minimize   = flag.Bool("minimize", false, "ddmin-minimize the failing schedule before reporting")
 		minRuns    = flag.Int("min-runs", 0, "cap ddmin oracle re-runs (0 = default)")
 		out        = flag.String("out", "", "write the (minimized) failing schedule to this file")
+		snapOut    = flag.String("snap-out", "", "write a failing-state checkpoint (.stsnap) when an oracle fires")
 		traceTail  = flag.Int("trace", 48, "events of trace tail in the failure narrative")
 		expectFail = flag.Bool("expect-failure", false, "exit 0 iff a failure WAS found (CI seeded-bug jobs)")
 	)
@@ -64,7 +78,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		report(finish(log, *minimize, *minRuns, *out, *traceTail), *expectFail)
+		report(finish(log, *minimize, *minRuns, *out, *snapOut, *traceTail), *expectFail)
 		return
 	}
 
@@ -81,25 +95,52 @@ func main() {
 		cfg.WarmupCycles = cost.FromSeconds(*warmupMs / 1000)
 	}
 
-	res, err := explore.Explore(cfg, *workers, explore.Budget{Wall: *budget, MaxRuns: *maxRuns})
+	var prog *explore.SeedProgress
+	if *resume != "" {
+		var err error
+		prog, err = explore.LoadSeedProgress(*resume, cfg, *forkHeap)
+		if err != nil {
+			fatal(err)
+		}
+		if done := prog.Completed(); done > 0 {
+			fmt.Printf("stfuzz: resuming campaign with %d runs already completed\n", done)
+		}
+	}
+
+	var res *explore.CampaignResult
+	var err error
+	if *forkHeap {
+		res, err = explore.ExploreForkHeap(cfg, *workers, explore.Budget{Wall: *budget, MaxRuns: *maxRuns}, prog)
+	} else {
+		res, err = explore.ExploreResumable(cfg, *workers, explore.Budget{Wall: *budget, MaxRuns: *maxRuns}, prog)
+	}
+	if prog != nil {
+		if serr := prog.Save(); serr != nil {
+			fmt.Fprintf(os.Stderr, "stfuzz: saving progress: %v\n", serr)
+		}
+	}
 	if err != nil {
 		fatal(err)
 	}
 	rate := float64(res.Runs) / res.Elapsed.Seconds()
-	fmt.Printf("stfuzz: %d runs in %.1fs (%.0f runs/s, %d workers, strategy %s)\n",
-		res.Runs, res.Elapsed.Seconds(), rate, *workers, *strategy)
+	mode := "seed sweep"
+	if *forkHeap {
+		mode = "fork-heap"
+	}
+	fmt.Printf("stfuzz: %d runs in %.1fs (%.0f runs/s, %d workers, strategy %s, %s)\n",
+		res.Runs, res.Elapsed.Seconds(), rate, *workers, *strategy, mode)
 	if res.Failure == nil {
 		fmt.Println("stfuzz: no oracle violations found")
 		report(false, *expectFail)
 		return
 	}
 	fmt.Printf("stfuzz: seed %d fails: %s\n\n", res.Failure.Seed, res.Failure.Verdict)
-	report(finish(res.Failure.Log, *minimize, *minRuns, *out, *traceTail), *expectFail)
+	report(finish(res.Failure.Log, *minimize, *minRuns, *out, *snapOut, *traceTail), *expectFail)
 }
 
 // finish minimizes (optionally), narrates, and saves a schedule log.
 // It reports whether the log still fails.
-func finish(log *explore.Log, minimize bool, minRuns int, out string, tail int) bool {
+func finish(log *explore.Log, minimize bool, minRuns int, out, snapOut string, tail int) bool {
 	if minimize {
 		min, err := explore.Minimize(log, explore.MinimizeOptions{
 			MaxRuns:    minRuns,
@@ -124,6 +165,16 @@ func finish(log *explore.Log, minimize bool, minRuns int, out string, tail int) 
 			fatal(err)
 		}
 		fmt.Printf("\nstfuzz: schedule written to %s\n", out)
+	}
+	if snapOut != "" && outc.Verdict.Failed {
+		st, err := explore.CheckpointLog(log)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stfuzz: failing-state checkpoint: %v\n", err)
+		} else if err := snap.WriteFile(snapOut, st); err != nil {
+			fatal(err)
+		} else {
+			fmt.Printf("stfuzz: failing-state checkpoint written to %s (decision %d)\n", snapOut, st.Decisions())
+		}
 	}
 	return outc.Verdict.Failed
 }

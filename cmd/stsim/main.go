@@ -6,6 +6,24 @@
 // Usage:
 //
 //	stsim -structure skiplist -scheme StackTrack -threads 8 -measure-ms 20
+//
+// Checkpoint/restore (internal/snap): -checkpoint-at V pauses the run at
+// virtual time V ms, writes a snapshot (-checkpoint-out), and continues to
+// the normal report. -restore resumes a snapshot taken under the same
+// flags and finishes it — bit-identical to the uninterrupted run:
+//
+//	stsim -scheme Epoch -checkpoint-at 10 -checkpoint-out run.stsnap
+//	stsim -scheme Epoch -restore run.stsnap
+//
+// Bisect mode (-bisect) binary-searches virtual time for the first point
+// a monotone oracle fails — a poison (use-after-free) read or a simulated
+// crash — forking each probe from the latest known-clean checkpoint
+// instead of re-running from t=0. Conservation and linearizability are
+// whole-run oracles (they need the drain phase) and are judged at the end
+// of the run as usual, not bisected. With -checkpoint-out, the last clean
+// state is written for time-travel debugging:
+//
+//	stsim -scheme UnsafeFree -structure list -bisect -checkpoint-out clean.stsnap
 package main
 
 import (
@@ -20,6 +38,7 @@ import (
 	"stacktrack/internal/core"
 	"stacktrack/internal/cost"
 	"stacktrack/internal/metrics"
+	"stacktrack/internal/snap"
 )
 
 func main() {
@@ -40,6 +59,11 @@ func main() {
 		traceN    = flag.Int("trace", 0, "record and print up to N simulation events")
 		profile   = flag.Bool("profile", false, "attribute virtual cycles to phases and print the breakdown")
 		folded    = flag.String("folded", "", "write folded stacks (flamegraph.pl input) to this file; implies -profile")
+
+		checkpointAt  = flag.Float64("checkpoint-at", 0, "checkpoint at this virtual time (ms), then continue")
+		checkpointOut = flag.String("checkpoint-out", "checkpoint.stsnap", "snapshot file written by -checkpoint-at / -bisect")
+		restore       = flag.String("restore", "", "restore this snapshot (same flags as the checkpointing run) and finish it")
+		bisect        = flag.Bool("bisect", false, "binary-search virtual time for the first poison read or simulated crash")
 	)
 	flag.Parse()
 
@@ -61,7 +85,49 @@ func main() {
 	cfg.Core.HashedScan = *hashScan
 	cfg.Core.Predictor = *predictor
 
-	res, err := bench.Run(cfg)
+	var res *bench.Result
+	var err error
+	switch {
+	case *bisect:
+		runBisect(cfg, *checkpointOut)
+		return
+	case *restore != "":
+		var st *snap.State
+		st, err = snap.ReadFile(*restore)
+		if err != nil {
+			break
+		}
+		var ses *bench.Session
+		ses, err = bench.SessionFromSnapshot(cfg, st)
+		if err != nil {
+			break
+		}
+		fmt.Printf("stsim: restored %s at decision %d; finishing the run\n\n", *restore, st.Decisions())
+		res, err = ses.Finish()
+	case *checkpointAt > 0:
+		var ses *bench.Session
+		ses, err = bench.NewSession(cfg)
+		if err != nil {
+			break
+		}
+		if ses.RunToVTime(cost.FromSeconds(*checkpointAt / 1000)) {
+			var st *snap.State
+			st, err = ses.Snapshot()
+			if err != nil {
+				break
+			}
+			if err = snap.WriteFile(*checkpointOut, st); err != nil {
+				break
+			}
+			fmt.Printf("stsim: checkpoint written to %s (decision %d, vtime %.3f ms)\n\n",
+				*checkpointOut, st.Decisions(), cost.Seconds(ses.VTime())*1000)
+		} else {
+			fmt.Fprintf(os.Stderr, "stsim: run ended before vtime %.3f ms; no checkpoint written\n", *checkpointAt)
+		}
+		res, err = ses.Finish()
+	default:
+		res, err = bench.Run(cfg)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "stsim: %v\n", err)
 		os.Exit(1)
@@ -88,6 +154,119 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runBisect binary-searches virtual time for the first failure of a
+// monotone oracle — a poison (use-after-free) read or a simulated crash —
+// forking every probe from the latest known-clean snapshot instead of
+// re-running from t=0. Exits 1 when a failure is found (its window and the
+// last clean state are reported), 0 when the run is clean.
+func runBisect(cfg bench.Config, outPath string) {
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "stsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Base checkpoint at t=0, before any simulated work.
+	base, err := bench.NewSession(cfg)
+	if err != nil {
+		fail(err)
+	}
+	loState, err := base.Snapshot()
+	if err != nil {
+		fail(err)
+	}
+
+	// Full probe: does a bisectable failure happen at all, and by when?
+	probe, _, crashed, err := probeTo(cfg, loState, cost.Cycles(1)<<62)
+	if err != nil {
+		fail(err)
+	}
+	hi := probe.VTime()
+	if !crashed && probe.UAFReads() == 0 {
+		// Clean through the pausable run; finish it to see whether a
+		// failure hides in the drain, beyond where a pause can land.
+		res, err := probe.Finish()
+		if err != nil {
+			fail(err)
+		}
+		if res.UAFReads > 0 {
+			fmt.Printf("stsim: bisect — all %d poison reads occur in the drain phase, beyond the pausable horizon; nothing to bisect\n", res.UAFReads)
+			os.Exit(1)
+		}
+		fmt.Println("stsim: bisect — no poison read or simulated crash in this run")
+		return
+	}
+	kind := "poison read"
+	if crashed && probe.UAFReads() == 0 {
+		kind = "simulated crash"
+	}
+
+	// Invariant: every step before vtime lo has executed cleanly (loState
+	// holds a consistent paused state proving it) and the failure happens
+	// at or before vtime hi. Every probe resumes from loState. A probe to
+	// mid pauses once every thread's NEXT step lies at or past mid, so a
+	// clean probe proves cleanliness below mid only, and a failing probe
+	// bounds the failure by where it actually stopped, not by mid.
+	var lo cost.Cycles
+	probes := 1
+	for hi-lo > 1 && probes < 64 {
+		mid := lo + (hi-lo)/2
+		ses, paused, crashed, err := probeTo(cfg, loState, mid)
+		if err != nil {
+			fail(err)
+		}
+		probes++
+		if crashed || ses.UAFReads() > 0 {
+			v := ses.VTime()
+			if v >= hi {
+				// The probe overran the whole window before it could
+				// pause: the window is already at pause granularity.
+				break
+			}
+			hi = v
+			continue
+		}
+		lo = mid
+		if !paused {
+			break
+		}
+		st, err := ses.Snapshot()
+		if err != nil {
+			fail(err)
+		}
+		loState = st
+	}
+
+	fmt.Printf("stsim: bisect — first %s in vtime window (%.4f ms, %.4f ms] after %d probes\n",
+		kind, cost.Seconds(lo)*1000, cost.Seconds(hi)*1000, probes)
+	fmt.Printf("stsim: last clean state: decision %d, vtime %.4f ms\n",
+		loState.Decisions(), cost.Seconds(lo)*1000)
+	if outPath != "" {
+		if err := snap.WriteFile(outPath, loState); err != nil {
+			fail(err)
+		}
+		fmt.Printf("stsim: clean checkpoint written to %s — resume it with -restore to step into the failure\n", outPath)
+	}
+	os.Exit(1)
+}
+
+// probeTo forks a session from a snapshot and advances it to virtual time
+// v, converting a simulated crash (allocator panic) into a flag.
+func probeTo(cfg bench.Config, from *snap.State, v cost.Cycles) (ses *bench.Session, paused, crashed bool, err error) {
+	ses, err = bench.SessionFromSnapshot(cfg, from)
+	if err != nil {
+		return nil, false, false, err
+	}
+	func() {
+		defer func() {
+			if recover() != nil {
+				crashed = true
+			}
+		}()
+		paused = ses.RunToVTime(v)
+	}()
+	return ses, paused, crashed, nil
 }
 
 // reportProfile prints the virtual-cycle phase breakdown, largest first.

@@ -1,0 +1,74 @@
+// Snapshot-state support (internal/snap): the allocator's mutable state is
+// the static/heap break points, the per-page allocation bitmaps, and the
+// per-class free lists. Free-list ORDER is part of the state: allocation
+// order after a restore must match the uninterrupted run exactly, and the
+// lists are LIFO stacks. The activity gauges live in the metrics registry
+// and are restored there.
+
+package alloc
+
+import (
+	"sort"
+
+	"stacktrack/internal/word"
+)
+
+// PageState is one heap page's metadata.
+type PageState struct {
+	Base      word.Addr
+	Class     int8
+	Allocated []bool
+}
+
+// State is an Allocator's complete mutable state. All slices are copies.
+type State struct {
+	StaticBrk word.Addr
+	HeapBase  word.Addr
+	HeapBrk   word.Addr
+
+	Pages     []PageState   // sorted by Base
+	FreeLists [][]word.Addr // per class, bottom of stack first
+}
+
+// SaveState copies out the complete mutable state.
+func (a *Allocator) SaveState() *State {
+	s := &State{StaticBrk: a.staticBrk, HeapBase: a.heapBase, HeapBrk: a.heapBrk}
+	for _, pg := range a.pages {
+		s.Pages = append(s.Pages, PageState{
+			Base:      pg.base,
+			Class:     pg.class,
+			Allocated: append([]bool(nil), pg.allocated...),
+		})
+	}
+	sort.Slice(s.Pages, func(i, j int) bool { return s.Pages[i].Base < s.Pages[j].Base })
+	s.FreeLists = make([][]word.Addr, len(a.freeLists))
+	for c := range a.freeLists {
+		s.FreeLists[c] = append([]word.Addr(nil), a.freeLists[c]...)
+	}
+	return s
+}
+
+// RestoreState overwrites the allocator with the saved state. The static
+// region layout is a deterministic function of the configuration, so a
+// mismatch in StaticBrk means the restore target was built differently —
+// that is a bug worth failing loudly on, not patching over.
+func (a *Allocator) RestoreState(s *State) {
+	if a.staticBrk != s.StaticBrk {
+		panic("alloc: RestoreState static-region mismatch (different Config?)")
+	}
+	a.heapBase = s.HeapBase
+	a.heapBrk = s.HeapBrk
+	a.pages = make(map[uint64]*page, len(s.Pages))
+	for i := range s.Pages {
+		ps := &s.Pages[i]
+		a.pages[uint64(ps.Base)>>pageShift] = &page{
+			base:      ps.Base,
+			class:     ps.Class,
+			allocated: append([]bool(nil), ps.Allocated...),
+		}
+	}
+	a.freeLists = make([][]word.Addr, len(s.FreeLists))
+	for c := range s.FreeLists {
+		a.freeLists[c] = append([]word.Addr(nil), s.FreeLists[c]...)
+	}
+}

@@ -232,14 +232,43 @@ type instance struct {
 	tracer   *trace.Recorder
 	// structure retains the data-structure object for tests/diagnostics.
 	structure any
+	// ops indexes the structure's operations by ID, for snapshot restore.
+	ops map[int]*prog.Op
 
 	// op counters, classified on completion
 	succIns, succDel, hits uint64
 	uafReads               uint64
 
 	// histories: per-key completed operations when Config.History is set.
-	histories map[uint64][]KeyOp
+	// histStarts is the per-driver issue time of the in-flight operation —
+	// an instance slot (not a closure local) so snapshots can carry it.
+	histories  map[uint64][]KeyOp
+	histStarts []cost.Cycles
+
+	// Phase machine. runAll used to be straight-line code; it is a
+	// resumable state machine so a checkpoint can pause mid-phase and a
+	// restored instance can continue from exactly where the save left off.
+	phase           int
+	horizon         cost.Cycles
+	crashIdx        int
+	crashTries      int
+	crashRunPending bool
+	warmIns         uint64
+	warmDel         uint64
+	warmHits        uint64
+	opsBefore       uint64
 }
+
+// Phase-machine states. Checkpoints may be taken in warmup, crash, and
+// measure; the measurement bookkeeping (registry reset, warm-counter
+// capture) is its own state so it runs exactly once across save/restore.
+const (
+	phaseWarmup = iota
+	phaseCrash
+	phaseMeasureStart
+	phaseMeasure
+	phaseMeasured
+)
 
 // Run executes one benchmark configuration end to end.
 func Run(cfg Config) (*Result, error) {
@@ -346,12 +375,12 @@ func isSetStructure(structure string) bool {
 // in.histories with its key, kind, result, and real-time interval.
 func (in *instance) collectHistories() {
 	in.histories = make(map[uint64][]KeyOp)
-	for _, d := range in.drivers {
-		d := d
-		var start cost.Cycles
+	in.histStarts = make([]cost.Cycles, len(in.drivers))
+	for i, d := range in.drivers {
+		i, d := i, d
 		origNext, origDone := d.Next, d.OnDone
 		d.Next = func(th *sched.Thread) (*prog.Op, [3]uint64, bool) {
-			start = th.VTime()
+			in.histStarts[i] = th.VTime()
 			return origNext(th)
 		}
 		d.OnDone = func(th *sched.Thread, o *prog.Op, result uint64) {
@@ -366,7 +395,7 @@ func (in *instance) collectHistories() {
 			}
 			key := th.Reg(prog.RegArg1)
 			in.histories[key] = append(in.histories[key], KeyOp{
-				Kind: kind, OK: result != 0, Start: start, End: th.VTime(),
+				Kind: kind, OK: result != 0, Start: in.histStarts[i], End: th.VTime(),
 			})
 			origDone(th, o, result)
 		}
@@ -391,41 +420,96 @@ func InitialKeys(cfg Config) map[uint64]bool {
 
 // runAll executes the warmup, measurement, and drain phases.
 func (in *instance) runAll() (*Result, error) {
+	in.advance()
+	return in.finish()
+}
+
+// advance drives the phase machine until the measurement window completes
+// or a configured scheduler pause point fires (sc.Paused()). Re-entering
+// after a pause — in the same process or after a restore — continues from
+// exactly the interrupted point: each scheduler Run call re-issues with an
+// unchanged horizon, which is idempotent.
+func (in *instance) advance() {
 	cfg := in.cfg
+	for {
+		switch in.phase {
+		case phaseWarmup:
+			// Warmup: let the split predictor converge (§6 "Split
+			// predictor").
+			in.sc.Run(cfg.WarmupCycles)
+			if in.sc.Paused() {
+				return
+			}
+			in.horizon = cfg.WarmupCycles
+			in.phase = phaseCrash
 
-	// Warmup: let the split predictor converge (§6 "Split predictor").
-	in.sc.Run(cfg.WarmupCycles)
+		case phaseCrash:
+			// Crash injection: kill the highest-numbered threads
+			// mid-operation, so their stacks pin references forever. The
+			// wait for a mid-operation moment can run long when the victim
+			// is a descheduled waiter on an oversubscribed context (its
+			// aborted transactions keep resetting the activity word), so
+			// the measurement window starts from wherever the wait left
+			// the clock rather than a fixed horizon.
+			for in.crashIdx < cfg.CrashThreads && in.crashIdx < cfg.Threads-1 {
+				tid := cfg.Threads - 1 - in.crashIdx
+				victim := in.threads[tid]
+				for in.crashTries < 10_000 && (in.crashRunPending || !in.midOp(victim)) {
+					if !in.crashRunPending {
+						in.horizon += 5_000
+						in.crashRunPending = true
+					}
+					in.sc.Run(in.horizon)
+					if in.sc.Paused() {
+						return
+					}
+					in.crashRunPending = false
+					in.crashTries++
+				}
+				in.sc.Crash(tid)
+				in.crashIdx++
+				in.crashTries = 0
+			}
+			in.phase = phaseMeasureStart
 
-	// Crash injection: kill the highest-numbered threads mid-operation,
-	// so their stacks pin references forever. The wait for a mid-operation
-	// moment can run long when the victim is a descheduled waiter on an
-	// oversubscribed context (its aborted transactions keep resetting the
-	// activity word), so the measurement window below starts from wherever
-	// the wait left the clock rather than a fixed horizon.
-	horizon := cfg.WarmupCycles
-	for i := 0; i < cfg.CrashThreads && i < cfg.Threads-1; i++ {
-		tid := cfg.Threads - 1 - i
-		victim := in.threads[tid]
-		for tries := 0; tries < 10_000 && !in.midOp(victim); tries++ {
-			horizon += 5_000
-			in.sc.Run(horizon)
+		case phaseMeasureStart:
+			// Measurement: zero every counter and histogram in the
+			// registry (the layers' Stats views read the same handles) and
+			// restart the profiler. Gauges — the allocator levels —
+			// survive the reset.
+			in.reg.Reset()
+			if in.prof != nil {
+				in.prof.Reset()
+			}
+			in.warmIns, in.warmDel, in.warmHits = in.succIns, in.succDel, in.hits
+			in.opsBefore = 0
+			for _, t := range in.threads {
+				in.opsBefore += t.OpsDone
+			}
+			in.phase = phaseMeasure
+
+		case phaseMeasure:
+			in.sc.Run(in.horizon + cfg.MeasureCycles)
+			if in.sc.Paused() {
+				return
+			}
+			in.phase = phaseMeasured
+
+		case phaseMeasured:
+			return
 		}
-		in.sc.Crash(tid)
 	}
+}
 
-	// Measurement: zero every counter and histogram in the registry (the
-	// layers' Stats views read the same handles) and restart the
-	// profiler. Gauges — the allocator levels — survive the reset.
-	in.reg.Reset()
-	if in.prof != nil {
-		in.prof.Reset()
+// finish assembles the measurement result, then drains. Only valid once
+// advance has reached the end of the measurement window.
+func (in *instance) finish() (*Result, error) {
+	cfg := in.cfg
+	if in.phase != phaseMeasured {
+		return nil, fmt.Errorf("bench: finish before the measurement window completed")
 	}
-	warmIns, warmDel, warmHits := in.succIns, in.succDel, in.hits
-	var opsBefore uint64
-	for _, t := range in.threads {
-		opsBefore += t.OpsDone
-	}
-	in.sc.Run(horizon + cfg.MeasureCycles)
+	warmIns, warmDel, warmHits := in.warmIns, in.warmDel, in.warmHits
+	opsBefore, horizon := in.opsBefore, in.horizon
 
 	res := &Result{Config: cfg}
 	for _, t := range in.threads {
@@ -494,6 +578,24 @@ func (in *instance) newRunner() prog.Runner {
 	return &prog.PlainRunner{Hist: in.reg.Histogram("ops.op_cycles", metrics.TimeHistBuckets)}
 }
 
+// registerOps indexes the structure's operations by ID for snapshot
+// restore (Block closures are not serializable; operations travel by ID).
+func (in *instance) registerOps(ops ...*prog.Op) {
+	in.ops = make(map[int]*prog.Op, len(ops))
+	for _, o := range ops {
+		in.ops[o.ID] = o
+	}
+}
+
+// opByID resolves an operation ID against the structure's op table.
+func (in *instance) opByID(id int) *prog.Op {
+	o := in.ops[id]
+	if o == nil {
+		panic(fmt.Sprintf("bench: snapshot references unknown op id %d", id))
+	}
+	return o
+}
+
 // buildScheme constructs the reclamation scheme.
 func (in *instance) buildScheme() error {
 	if in.cfg.Scheme == SchemeStackTrack {
@@ -540,6 +642,7 @@ func (in *instance) buildStructure() (func(t *sched.Thread) (*prog.Op, [3]uint64
 	case StructList:
 		l := ds.NewList(in.al)
 		in.structure = l
+		in.registerOps(l.OpContains, l.OpInsert, l.OpDelete)
 		keys := workload.SampleKeys(cfg.Seed+1, cfg.InitialSize, cfg.KeyRange)
 		l.Seed(in.al, in.m, keys, 7)
 		mix := workload.SetMix{KeyRange: cfg.KeyRange, MutatePct: cfg.MutatePct}
@@ -562,6 +665,7 @@ func (in *instance) buildStructure() (func(t *sched.Thread) (*prog.Op, [3]uint64
 	case StructHash:
 		h := ds.NewHashTable(in.al, cfg.Buckets)
 		in.structure = h
+		in.registerOps(h.OpContains, h.OpInsert, h.OpDelete)
 		keys := workload.SampleKeys(cfg.Seed+1, cfg.InitialSize, cfg.KeyRange)
 		h.Seed(in.al, in.m, keys, 7)
 		mix := workload.SetMix{KeyRange: cfg.KeyRange, MutatePct: cfg.MutatePct}
@@ -582,6 +686,7 @@ func (in *instance) buildStructure() (func(t *sched.Thread) (*prog.Op, [3]uint64
 	case StructSkipList:
 		s := ds.NewSkipList(in.al)
 		in.structure = s
+		in.registerOps(s.OpContains, s.OpInsert, s.OpDelete)
 		keys := workload.SampleKeys(cfg.Seed+1, cfg.InitialSize, cfg.KeyRange)
 		s.Seed(in.al, in.m, keys, 7, cfg.Seed+2)
 		mix := workload.SetMix{KeyRange: cfg.KeyRange, MutatePct: cfg.MutatePct}
@@ -604,6 +709,7 @@ func (in *instance) buildStructure() (func(t *sched.Thread) (*prog.Op, [3]uint64
 	case StructQueue:
 		q := ds.NewQueue(in.al)
 		in.structure = q
+		in.registerOps(q.OpEnqueue, q.OpDequeue, q.OpPeek)
 		vals := make([]uint64, cfg.QueuePrefill)
 		for i := range vals {
 			vals[i] = uint64(i) + 1
@@ -630,6 +736,7 @@ func (in *instance) buildStructure() (func(t *sched.Thread) (*prog.Op, [3]uint64
 	case StructRBTree:
 		r := ds.NewRBTree(in.al)
 		in.structure = r
+		in.registerOps(r.OpSearch)
 		keys := workload.SampleKeys(cfg.Seed+1, cfg.InitialSize, cfg.KeyRange)
 		r.Seed(in.al, in.m, keys)
 		nKeys := uint64(len(keys))

@@ -87,6 +87,14 @@ type Recording struct {
 // NewRecording wraps inner with deviation recording.
 func NewRecording(inner sched.Policy) *Recording { return &Recording{inner: inner} }
 
+// NewRecordingAt wraps inner with deviation recording for a run resumed
+// from a snapshot taken at decision boundary n: the first Pick call is
+// numbered n, so the recorded log lines up with a from-scratch replay
+// whose first n decisions follow the default rule.
+func NewRecordingAt(inner sched.Policy, n uint64) *Recording {
+	return &Recording{inner: inner, n: n}
+}
+
 // Decisions returns the recorded deviations (ascending by N).
 func (r *Recording) Decisions() []Decision { return r.decisions }
 
@@ -158,6 +166,18 @@ type Replay struct {
 
 // NewReplay builds a replay policy over decisions (ascending by N).
 func NewReplay(decisions []Decision) *Replay { return &Replay{decisions: decisions} }
+
+// NewReplayAt builds a replay policy positioned mid-run: the next Pick
+// call is decision number n, and decisions with N < n are skipped as
+// already applied. This is the policy half of resuming from a snapshot
+// taken at decision boundary n.
+func NewReplayAt(decisions []Decision, n uint64) *Replay {
+	r := &Replay{decisions: decisions, n: n}
+	for r.idx < len(r.decisions) && r.decisions[r.idx].N < n {
+		r.idx++
+	}
+	return r
+}
 
 // Applied returns the deviations that actually fired during the replay.
 func (r *Replay) Applied() []Applied { return r.applied }

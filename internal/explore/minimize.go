@@ -22,6 +22,11 @@ type MinimizeOptions struct {
 	SameOracle bool
 	// Progress, when non-nil, observes (runs so far, current size).
 	Progress func(runs, size int)
+	// NoFork disables snapshot-accelerated replay: every candidate then
+	// runs from a cold start. The fork path is semantically identical
+	// (asserted by TestMinimizeForkMatchesScratch); this switch exists for
+	// that test and for measuring the speedup.
+	NoFork bool
 }
 
 // MinimizeResult is the outcome of a minimization.
@@ -48,9 +53,23 @@ func Minimize(log *Log, opts MinimizeOptions) (*MinimizeResult, error) {
 	}
 	runs := 0
 	wantOracle := log.Oracle
+	// Snapshot-accelerated replay (see fork.go): checkpoint the current
+	// schedule at a few decision boundaries, and resume each candidate
+	// from the deepest checkpoint whose prefix it shares. Capture passes
+	// are partial replays and do not count against MaxRuns.
+	var cache []snapEntry
+	if !opts.NoFork {
+		cache = capturePrefixSnapshots(log.Config, log.Decisions, snapCachePoints)
+	}
 	test := func(ds []Decision) (Verdict, bool) {
 		runs++
-		out, _, err := ReplayLog(&Log{Config: log.Config, Decisions: ds}, 0)
+		var out *Outcome
+		var err error
+		if e := bestSnapshot(cache, ds); e != nil {
+			out, err = replayFromSnapshot(log.Config, e, ds)
+		} else {
+			out, _, err = ReplayLog(&Log{Config: log.Config, Decisions: ds}, 0)
+		}
 		if err != nil {
 			return Verdict{}, false
 		}
@@ -99,6 +118,12 @@ func Minimize(log *Log, opts MinimizeOptions) (*MinimizeResult, error) {
 				removed = true
 				if opts.Progress != nil {
 					opts.Progress(runs, len(cur))
+				}
+				// Re-checkpoint on the smaller list: as ddmin strips early
+				// deviations, the surviving prefix pushes deeper into the
+				// run and forked candidates skip correspondingly more.
+				if !opts.NoFork {
+					cache = capturePrefixSnapshots(log.Config, cur, snapCachePoints)
 				}
 				break
 			}

@@ -96,6 +96,12 @@ type Memory struct {
 	sharers []uint64
 	lastW   []int32
 
+	// hi is one past the highest address any access ever touched — a
+	// monotone high-water mark. Snapshots copy only words[:hi] (and the
+	// metadata lines covering them): simulated memory is sized generously
+	// but used sparsely, and restore cost is what bounds fork throughput.
+	hi uint64
+
 	txs      [MaxThreads]*Tx
 	liveTx   int // number of TxActive transactions (gates plain-op checks)
 	topology topo.Topology
@@ -194,6 +200,9 @@ func (m *Memory) ResetStats() { m.c.reset() }
 func (m *Memory) check(a word.Addr) {
 	if uint64(a) >= uint64(len(m.words)) {
 		panic(fmt.Sprintf("mem: address %#x out of range (%d words)", uint64(a), len(m.words)))
+	}
+	if uint64(a) >= m.hi {
+		m.hi = uint64(a) + 1
 	}
 }
 

@@ -1,0 +1,92 @@
+// Snapshot-state support (internal/snap): unlike Snapshot, which merges
+// lanes for reporting, State captures every metric's full per-lane state so
+// a restored registry is bit-identical to the saved one — per-thread
+// attribution included. Restore writes through the registry's existing
+// handles (get-or-create by name), so pointers held by the wired layers
+// stay valid.
+
+package metrics
+
+// CounterState is one counter's full per-lane state.
+type CounterState struct {
+	Name  string
+	Lanes []uint64 // length MaxThreads
+}
+
+// HistogramState is one histogram's full per-lane state.
+type HistogramState struct {
+	Name    string
+	Buckets int
+	Lanes   []uint64 // MaxThreads × Buckets, row-major by tid
+	Counts  []uint64 // length MaxThreads
+	Sums    []uint64 // length MaxThreads
+}
+
+// GaugeState is one gauge's value.
+type GaugeState struct {
+	Name  string
+	Value int64
+}
+
+// State is a registry's complete mutable state. All slices are copies:
+// a State never aliases live registry storage, so one State can be
+// restored into many registries (the basis of in-process forking).
+type State struct {
+	Counters   []CounterState
+	Gauges     []GaugeState
+	Histograms []HistogramState
+}
+
+// SaveState copies out the full state of every registered metric, in
+// registration order (deterministic for a deterministically wired run).
+func (r *Registry) SaveState() *State {
+	s := &State{}
+	for _, c := range r.counters {
+		lanes := make([]uint64, MaxThreads)
+		copy(lanes, c.lanes[:])
+		s.Counters = append(s.Counters, CounterState{Name: c.name, Lanes: lanes})
+	}
+	for _, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeState{Name: g.name, Value: g.v})
+	}
+	for _, h := range r.hists {
+		hs := HistogramState{
+			Name:    h.name,
+			Buckets: h.buckets,
+			Lanes:   append([]uint64(nil), h.lanes...),
+			Counts:  make([]uint64, MaxThreads),
+			Sums:    make([]uint64, MaxThreads),
+		}
+		copy(hs.Counts, h.counts[:])
+		copy(hs.Sums, h.sums[:])
+		s.Histograms = append(s.Histograms, hs)
+	}
+	return s
+}
+
+// RestoreState overwrites the registry's metrics with the saved state.
+// Metrics are matched by name and created if absent, so restoring into a
+// freshly wired registry works even when wiring order differs; metrics
+// present in the registry but absent from the state are zeroed (they did
+// not exist — hence held zero — at save time).
+func (r *Registry) RestoreState(s *State) {
+	r.Reset()
+	for _, g := range r.gauges {
+		g.v = 0
+	}
+	for i := range s.Counters {
+		cs := &s.Counters[i]
+		c := r.Counter(cs.Name)
+		copy(c.lanes[:], cs.Lanes)
+	}
+	for i := range s.Gauges {
+		r.Gauge(s.Gauges[i].Name).v = s.Gauges[i].Value
+	}
+	for i := range s.Histograms {
+		hs := &s.Histograms[i]
+		h := r.Histogram(hs.Name, hs.Buckets)
+		copy(h.lanes, hs.Lanes)
+		copy(h.counts[:], hs.Counts)
+		copy(h.sums[:], hs.Sums)
+	}
+}

@@ -1,0 +1,73 @@
+// Snapshot-state support (internal/snap): a PlainRunner's mutable state is
+// the in-flight operation (by ID — Block closures are rebuilt by the
+// restore target), its program counter and frame, and the operation's
+// start time; a Driver's is the current operation handle. The Next/OnDone
+// closures and the histogram handle are wiring, reinstalled by the layer
+// that owns them (the bench harness).
+
+package prog
+
+import (
+	"stacktrack/internal/cost"
+	"stacktrack/internal/sched"
+	"stacktrack/internal/word"
+)
+
+// PlainRunnerState is a PlainRunner's mutable state.
+type PlainRunnerState struct {
+	Busy      bool
+	OpID      int
+	PC        int
+	FrameBase word.Addr
+	FrameSize int
+	OpStartV  cost.Cycles
+}
+
+// SaveState copies out the runner's state.
+func (r *PlainRunner) SaveState() *PlainRunnerState {
+	s := &PlainRunnerState{Busy: r.busy, OpStartV: r.opStartV}
+	if r.busy {
+		s.OpID = r.op.ID
+		s.PC = r.pc
+		s.FrameBase = r.frame.Base()
+		s.FrameSize = r.frame.Size()
+	}
+	return s
+}
+
+// RestoreState overwrites the runner from a saved state. opByID resolves
+// operation IDs against the restore target's own op table.
+func (r *PlainRunner) RestoreState(s *PlainRunnerState, t *sched.Thread, opByID func(id int) *Op) {
+	r.busy = s.Busy
+	r.opStartV = s.OpStartV
+	r.op = nil
+	if s.Busy {
+		r.op = opByID(s.OpID)
+		r.pc = s.PC
+		r.frame = t.RebuildFrame(s.FrameBase, s.FrameSize)
+	}
+}
+
+// DriverState is a Driver's mutable state beyond its Runner's.
+type DriverState struct {
+	HasCur bool
+	CurID  int
+}
+
+// SaveState copies out the driver's state.
+func (d *Driver) SaveState() *DriverState {
+	s := &DriverState{}
+	if d.cur != nil {
+		s.HasCur = true
+		s.CurID = d.cur.ID
+	}
+	return s
+}
+
+// RestoreState overwrites the driver from a saved state.
+func (d *Driver) RestoreState(s *DriverState, opByID func(id int) *Op) {
+	d.cur = nil
+	if s.HasCur {
+		d.cur = opByID(s.CurID)
+	}
+}

@@ -30,6 +30,16 @@ type Epoch struct {
 	limit int
 
 	bufs [64][]word.Addr
+	// watches holds each waiting thread's progress snapshots. The Blocked
+	// closure reads through here (not a captured local) so a snapshot
+	// restore can reinstall an in-flight wait from saved state.
+	watches [64][]epochWatch
+}
+
+// epochWatch is one (thread, timestamp) progress snapshot of a wait.
+type epochWatch struct {
+	tid  int
+	snap uint64
 }
 
 // NewEpoch creates the epoch scheme; limit is the retire-buffer threshold.
@@ -86,26 +96,30 @@ func quiescent(t, u *sched.Thread) (uint64, bool) {
 // startWait snapshots the busy threads' timestamps and parks t until all of
 // them move, freeing the buffer on wake-up.
 func (e *Epoch) startWait(t *sched.Thread) {
-	type watch struct {
-		u    *sched.Thread
-		snap uint64
-	}
-	var watches []watch
+	e.watches[t.ID] = e.watches[t.ID][:0]
 	for _, u := range e.sc.Threads() {
 		if u.ID == t.ID || u.Done() {
 			continue
 		}
 		if ts, quiet := quiescent(t, u); !quiet {
-			watches = append(watches, watch{u: u, snap: ts})
+			e.watches[t.ID] = append(e.watches[t.ID], epochWatch{tid: u.ID, snap: ts})
 		}
 	}
-	t.Trace(sched.TraceBlocked, uint64(len(watches)))
+	t.Trace(sched.TraceBlocked, uint64(len(e.watches[t.ID])))
+	e.installWait(t)
+}
+
+// installWait parks t on its recorded watches. Split out of startWait so a
+// snapshot restore can reinstall the wait without re-snapshotting.
+func (e *Epoch) installWait(t *sched.Thread) {
+	threads := e.sc.Threads()
 	t.Blocked = func() bool {
-		for _, w := range watches {
-			if w.u.Done() {
+		for _, w := range e.watches[t.ID] {
+			u := threads[w.tid]
+			if u.Done() {
 				continue
 			}
-			if t.LoadPlain(w.u.OperCntAddr()) == w.snap {
+			if t.LoadPlain(u.OperCntAddr()) == w.snap {
 				return false // still inside the same operation
 			}
 		}

@@ -1,0 +1,232 @@
+// Snapshot-state support (internal/snap): each baseline scheme's mutable
+// state is its retire buffers plus whatever bookkeeping its protocol
+// keeps per thread (epoch watches, hazard high-water marks, DTA eras,
+// reference counts). Map-backed state is serialized as sorted slices so
+// the on-disk encoding is byte-stable.
+//
+// One tagged State type covers every scheme so the snapshot layer does
+// not need per-scheme plumbing; Save/RestoreScheme dispatch on the
+// concrete type. Restore reinstalls the Blocked wait closure for epoch
+// threads that were parked mid-wait (sched.RestoreState clears closures).
+
+package reclaim
+
+import (
+	"fmt"
+	"sort"
+
+	"stacktrack/internal/sched"
+	"stacktrack/internal/word"
+)
+
+// EpochState is the epoch scheme's mutable state.
+type EpochState struct {
+	Bufs    [][]word.Addr // indexed by tid
+	Watches [][]WatchState
+	Waiting []int // tids parked on a progress wait
+}
+
+// WatchState is one (thread, timestamp) progress snapshot.
+type WatchState struct {
+	Tid  int
+	Snap uint64
+}
+
+// HazardState is the hazard-pointer scheme's mutable state. The hazard
+// slots themselves live in simulated memory and are restored with it.
+type HazardState struct {
+	Bufs [][]word.Addr
+	Used []int
+}
+
+// DTAState is the drop-the-anchor scheme's mutable state. Anchor slots
+// live in simulated memory.
+type DTAState struct {
+	RetireClock uint64
+	HopCnt      []int
+	OpStart     []uint64
+	InOp        []bool
+	BufAddrs    [][]word.Addr
+	BufEras     [][]uint64
+}
+
+// RefCountEntry is one node's reference count (sorted by Addr).
+type RefCountEntry struct {
+	Addr  word.Addr
+	Count int64
+}
+
+// RefCountState is the reference-counting scheme's mutable state.
+type RefCountState struct {
+	Counts  []RefCountEntry
+	Zombies []word.Addr // sorted
+	Held    [][]word.Addr
+}
+
+// State is any scheme's mutable state, tagged by scheme name. Exactly one
+// of the pointer fields is set (none for the stateless schemes).
+type State struct {
+	Scheme   string
+	Leaked   uint64 // Original
+	Epoch    *EpochState
+	Hazard   *HazardState
+	DTA      *DTAState
+	RefCount *RefCountState
+}
+
+// SaveScheme copies out a scheme's mutable state. StackTrack's own state
+// is saved by internal/core; this covers the plain-runner baselines.
+func SaveScheme(r sched.Reclaimer) (*State, error) {
+	switch v := r.(type) {
+	case *Leak:
+		return &State{Scheme: v.Name(), Leaked: v.Leaked}, nil
+	case *UnsafeFree:
+		return &State{Scheme: v.Name()}, nil
+	case *Epoch:
+		n := len(v.sc.Threads())
+		es := &EpochState{
+			Bufs:    make([][]word.Addr, n),
+			Watches: make([][]WatchState, n),
+		}
+		for tid := 0; tid < n; tid++ {
+			es.Bufs[tid] = append([]word.Addr(nil), v.bufs[tid]...)
+			for _, w := range v.watches[tid] {
+				es.Watches[tid] = append(es.Watches[tid], WatchState{Tid: w.tid, Snap: w.snap})
+			}
+		}
+		for _, t := range v.sc.Threads() {
+			if t.Blocked != nil {
+				es.Waiting = append(es.Waiting, t.ID)
+			}
+		}
+		return &State{Scheme: v.Name(), Epoch: es}, nil
+	case *Hazard:
+		n := len(v.sc.Threads())
+		hs := &HazardState{Bufs: make([][]word.Addr, n), Used: make([]int, n)}
+		for tid := 0; tid < n; tid++ {
+			hs.Bufs[tid] = append([]word.Addr(nil), v.bufs[tid]...)
+			hs.Used[tid] = v.used[tid]
+		}
+		return &State{Scheme: v.Name(), Hazard: hs}, nil
+	case *DTA:
+		n := len(v.sc.Threads())
+		ds := &DTAState{
+			RetireClock: v.retireClock,
+			HopCnt:      make([]int, n),
+			OpStart:     make([]uint64, n),
+			InOp:        make([]bool, n),
+			BufAddrs:    make([][]word.Addr, n),
+			BufEras:     make([][]uint64, n),
+		}
+		for tid := 0; tid < n; tid++ {
+			ds.HopCnt[tid] = v.hopCnt[tid]
+			ds.OpStart[tid] = v.opStart[tid]
+			ds.InOp[tid] = v.inOp[tid]
+			ds.BufAddrs[tid] = append([]word.Addr(nil), v.bufAddrs[tid]...)
+			ds.BufEras[tid] = append([]uint64(nil), v.bufEras[tid]...)
+		}
+		return &State{Scheme: v.Name(), DTA: ds}, nil
+	case *RefCount:
+		n := len(v.sc.Threads())
+		rs := &RefCountState{Held: make([][]word.Addr, n)}
+		for p, c := range v.counts {
+			rs.Counts = append(rs.Counts, RefCountEntry{Addr: p, Count: c})
+		}
+		sort.Slice(rs.Counts, func(i, j int) bool { return rs.Counts[i].Addr < rs.Counts[j].Addr })
+		for p := range v.zombie {
+			rs.Zombies = append(rs.Zombies, p)
+		}
+		sort.Slice(rs.Zombies, func(i, j int) bool { return rs.Zombies[i] < rs.Zombies[j] })
+		for tid := 0; tid < n; tid++ {
+			rs.Held[tid] = append([]word.Addr(nil), v.held[tid]...)
+		}
+		return &State{Scheme: v.Name(), RefCount: rs}, nil
+	default:
+		return nil, fmt.Errorf("reclaim: scheme %q does not support snapshots", r.Name())
+	}
+}
+
+// RestoreScheme overwrites a scheme's state from a saved State. The
+// receiving scheme must be the same kind that produced the state.
+func RestoreScheme(r sched.Reclaimer, s *State) error {
+	if r.Name() != s.Scheme {
+		return fmt.Errorf("reclaim: restoring %q state into %q scheme", s.Scheme, r.Name())
+	}
+	switch v := r.(type) {
+	case *Leak:
+		v.Leaked = s.Leaked
+		return nil
+	case *UnsafeFree:
+		return nil
+	case *Epoch:
+		es := s.Epoch
+		if es == nil {
+			return fmt.Errorf("reclaim: missing epoch state")
+		}
+		for tid := range v.bufs {
+			v.bufs[tid] = nil
+			v.watches[tid] = nil
+		}
+		for tid := range es.Bufs {
+			v.bufs[tid] = append([]word.Addr(nil), es.Bufs[tid]...)
+			for _, w := range es.Watches[tid] {
+				v.watches[tid] = append(v.watches[tid], epochWatch{tid: w.Tid, snap: w.Snap})
+			}
+		}
+		for _, tid := range es.Waiting {
+			v.installWait(v.sc.Threads()[tid])
+		}
+		return nil
+	case *Hazard:
+		hs := s.Hazard
+		if hs == nil {
+			return fmt.Errorf("reclaim: missing hazard state")
+		}
+		for tid := range v.bufs {
+			v.bufs[tid] = nil
+			v.used[tid] = 0
+		}
+		for tid := range hs.Bufs {
+			v.bufs[tid] = append([]word.Addr(nil), hs.Bufs[tid]...)
+			v.used[tid] = hs.Used[tid]
+		}
+		return nil
+	case *DTA:
+		ds := s.DTA
+		if ds == nil {
+			return fmt.Errorf("reclaim: missing dta state")
+		}
+		v.retireClock = ds.RetireClock
+		for tid := range v.bufAddrs {
+			v.hopCnt[tid], v.opStart[tid], v.inOp[tid] = 0, 0, false
+			v.bufAddrs[tid], v.bufEras[tid] = nil, nil
+		}
+		for tid := range ds.BufAddrs {
+			v.hopCnt[tid] = ds.HopCnt[tid]
+			v.opStart[tid] = ds.OpStart[tid]
+			v.inOp[tid] = ds.InOp[tid]
+			v.bufAddrs[tid] = append([]word.Addr(nil), ds.BufAddrs[tid]...)
+			v.bufEras[tid] = append([]uint64(nil), ds.BufEras[tid]...)
+		}
+		return nil
+	case *RefCount:
+		rs := s.RefCount
+		if rs == nil {
+			return fmt.Errorf("reclaim: missing refcount state")
+		}
+		v.counts = make(map[word.Addr]int64, len(rs.Counts))
+		for _, e := range rs.Counts {
+			v.counts[e.Addr] = e.Count
+		}
+		v.zombie = make(map[word.Addr]bool, len(rs.Zombies))
+		for _, p := range rs.Zombies {
+			v.zombie[p] = true
+		}
+		for tid := range rs.Held {
+			v.held[tid] = append([]word.Addr(nil), rs.Held[tid]...)
+		}
+		return nil
+	default:
+		return fmt.Errorf("reclaim: scheme %q does not support snapshots", r.Name())
+	}
+}

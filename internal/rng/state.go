@@ -1,0 +1,18 @@
+// Snapshot support: a generator's state is its two xorshift words. They
+// are exposed as plain values so internal/snap can checkpoint and restore
+// every RNG stream in the simulation bit-exactly.
+
+package rng
+
+// State returns the generator's internal state words.
+func (r *Rand) State() (s0, s1 uint64) { return r.s0, r.s1 }
+
+// SetState overwrites the generator's internal state words. An all-zero
+// state is invalid for xorshift; it is coerced the same way Reseed does,
+// so restoring a state captured from a live generator is always exact.
+func (r *Rand) SetState(s0, s1 uint64) {
+	if s0 == 0 && s1 == 0 {
+		s0 = 1
+	}
+	r.s0, r.s1 = s0, s1
+}

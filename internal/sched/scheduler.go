@@ -71,6 +71,17 @@ type Scheduler struct {
 	policy Policy
 	cands  []int // reusable runnable-candidate buffer
 
+	// Decision counter and one-shot pause points (checkpoint support).
+	// decisions counts scheduling decisions — one per Run loop iteration
+	// that reaches a pick — and aligns with the decision numbers of
+	// internal/explore's schedule logs.
+	decisions  uint64
+	pauseDecOn bool
+	pauseDec   uint64
+	pauseVTOn  bool
+	pauseVT    cost.Cycles
+	pausedFlag bool
+
 	ctrPreempts *metrics.Counter
 	ctrSwitches *metrics.Counter
 	ctrPolls    *metrics.Counter
@@ -239,15 +250,55 @@ func (s *Scheduler) Crash(tid int) {
 	}
 }
 
+// Decisions returns how many scheduling decisions the run has made so
+// far. The count aligns with internal/explore's schedule-log decision
+// numbers: decision N is the (N+1)-th pick of the run.
+func (s *Scheduler) Decisions() uint64 { return s.decisions }
+
+// PauseAtDecision arms a one-shot pause: Run returns just before making
+// decision n (so exactly n decisions have been made), at a block boundary
+// where no thread is mid-access. Taking a snapshot there and resuming —
+// or restoring and resuming elsewhere — is bit-exact, because nothing is
+// consumed between the pause check and the pick.
+func (s *Scheduler) PauseAtDecision(n uint64) { s.pauseDecOn, s.pauseDec = true, n }
+
+// PauseAtVTime arms a one-shot pause at the first decision boundary where
+// every runnable thread's virtual clock has reached v ("the first safe
+// boundary at or after v").
+func (s *Scheduler) PauseAtVTime(v cost.Cycles) { s.pauseVTOn, s.pauseVT = true, v }
+
+// ClearPause disarms any armed pause point.
+func (s *Scheduler) ClearPause() { s.pauseDecOn, s.pauseVTOn = false, false }
+
+// Paused reports whether the last Run call returned because an armed
+// pause point fired (rather than reaching the horizon). The pause is
+// one-shot: calling Run again continues past it.
+func (s *Scheduler) Paused() bool { return s.pausedFlag }
+
 // Run steps threads until every live thread's virtual clock reaches the
 // `until` cycle count or all steppers report completion. It may be called
 // repeatedly with increasing horizons (warmup, then measurement).
 func (s *Scheduler) Run(until cost.Cycles) {
+	s.pausedFlag = false
 	for {
 		cands := s.runnableContexts(until)
 		if len(cands) == 0 {
 			return
 		}
+		if s.pauseDecOn && s.decisions >= s.pauseDec {
+			s.pauseDecOn = false
+			s.pausedFlag = true
+			return
+		}
+		if s.pauseVTOn {
+			min := s.contexts[cands[s.DefaultPick(cands)]].queue[0].vtime
+			if min >= s.pauseVT {
+				s.pauseVTOn = false
+				s.pausedFlag = true
+				return
+			}
+		}
+		s.decisions++
 		var i int
 		if s.policy != nil {
 			i = s.policy.Pick(s, cands)

@@ -11,6 +11,13 @@
 # (~40 ms/run), so a 4-worker campaign beats a 1-worker campaign by a wide
 # margin. -expect-failure inverts the exit status: finding the bug is
 # success.
+#
+# Phase 3 — checkpoint/restore end to end: a fork-heap campaign (one
+# warmed snapshot forked across strategy seeds) finds a use-after-free,
+# ddmin minimizes it over the snapshot-accelerated replay path, writes the
+# schedule plus a failing-state checkpoint into $FUZZ_ARTIFACTS (uploaded
+# by CI when an oracle fires), and the artifact is re-verified by a
+# from-scratch replay.
 set -eu
 
 STFUZZ=${STFUZZ:-./bin/stfuzz}
@@ -52,10 +59,25 @@ echo "seeded bug found: 1 worker ${serial}ms, 4 workers ${parallel}ms"
 cores=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
 if [ "$cores" -lt 2 ]; then
   echo "SKIP timing comparison: only $cores host core(s); both campaigns found the bug"
-  exit 0
-fi
-if [ "$parallel" -ge "$serial" ]; then
+elif [ "$parallel" -ge "$serial" ]; then
   echo "FAIL: 4 workers (${parallel}ms) were not faster than 1 worker (${serial}ms)" >&2
   exit 1
+else
+  echo "OK: parallel exploration is $(( serial / parallel ))x+ faster"
 fi
-echo "OK: parallel exploration is $(( serial / parallel ))x+ faster"
+
+echo "== phase 3: fork-heap campaign, snapshot-accelerated ddmin, failing-state checkpoint =="
+ART=${FUZZ_ARTIFACTS:-./fuzz-artifacts}
+mkdir -p "$ART"
+"$STFUZZ" -ds list -scheme unsafe -strategy random -seed 6 \
+  -threads 2 -mutate 40 -keyrange 128 -initial 64 \
+  -measure-ms 0.1 -warmup-ms 0.05 \
+  -budget 60s -max-runs 256 -workers 2 -fork-heap \
+  -minimize -out "$ART/crash.schedule" -snap-out "$ART/crash.stsnap" \
+  -expect-failure -trace 0
+[ -s "$ART/crash.schedule" ] || { echo "FAIL: no schedule artifact written" >&2; exit 1; }
+[ -s "$ART/crash.stsnap" ] || { echo "FAIL: no failing-state checkpoint written" >&2; exit 1; }
+# The campaign forked every run off one warmed snapshot; the minimized
+# artifact must still reproduce from a cold start.
+"$STFUZZ" -replay "$ART/crash.schedule" -expect-failure -trace 0
+echo "OK: fork-heap failure reproduces from scratch; artifacts in $ART"
