@@ -1,7 +1,9 @@
 // Command stfuzz explores schedules of the simulated reclamation schemes
 // looking for oracle violations: poison (use-after-free) reads, conservation
-// breaks, simulated crashes, and linearizability failures. It is the
-// command-line front end to internal/explore.
+// breaks, simulated crashes, linearizability failures, and — with
+// -check-races — sanitizer findings (vector-clock data races and
+// shadow-memory use-after-free/redzone faults, reported at the faulting
+// access). It is the command-line front end to internal/explore.
 //
 // Explore mode (default) fans host workers out over workload seeds under a
 // wall-clock/run budget and stops at the first failing schedule:
@@ -55,6 +57,7 @@ func main() {
 		depth       = flag.Int("depth", 0, "PCT depth d (0 = default)")
 		preemptProb = flag.Float64("preempt-prob", 0, "random walk forced-preemption probability (0 = default)")
 		checkLin    = flag.Bool("check-lin", false, "enable the per-key linearizability oracle")
+		checkRaces  = flag.Bool("check-races", false, "enable the sanitizer and its race oracle (vector-clock races, shadow-memory UAF)")
 
 		budget  = flag.Duration("budget", 30*time.Second, "wall-clock exploration budget")
 		maxRuns = flag.Int("max-runs", 0, "stop after this many runs (0 = unlimited)")
@@ -86,7 +89,7 @@ func main() {
 		Structure: *ds, Scheme: *scheme, Threads: *threads, Seed: *seed,
 		InitialSize: *initial, KeyRange: *keyrange, MutatePct: *mutate,
 		Strategy: *strategy, Depth: *depth, PreemptProb: *preemptProb,
-		CheckLin: *checkLin,
+		CheckLin: *checkLin, CheckRaces: *checkRaces,
 	}
 	if *measureMs > 0 {
 		cfg.MeasureCycles = cost.FromSeconds(*measureMs / 1000)

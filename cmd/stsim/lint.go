@@ -1,0 +1,59 @@
+package main
+
+// stsim -lint: build every data structure's compiled operations and
+// re-run the prog IR verifier over them. Build already panics on a
+// failing verification, so a clean report is the expected outcome; the
+// value is the coverage listing (which ops carry full control-flow
+// annotations) and a non-panicking exit code for scripts.
+
+import (
+	"fmt"
+	"os"
+
+	"stacktrack/internal/alloc"
+	"stacktrack/internal/ds"
+	"stacktrack/internal/mem"
+	"stacktrack/internal/prog"
+)
+
+// runLint verifies the IR of every structure's operations and returns
+// the process exit code.
+func runLint() int {
+	newAlloc := func() *alloc.Allocator {
+		return alloc.New(mem.New(mem.Config{Words: 1 << 20}))
+	}
+	var ops []*prog.Op
+	l := ds.NewList(newAlloc())
+	ops = append(ops, l.OpContains, l.OpInsert, l.OpDelete)
+	s := ds.NewSkipList(newAlloc())
+	ops = append(ops, s.OpContains, s.OpInsert, s.OpDelete)
+	h := ds.NewHashTable(newAlloc(), 32)
+	ops = append(ops, h.OpContains, h.OpInsert, h.OpDelete)
+	q := ds.NewQueue(newAlloc())
+	ops = append(ops, q.OpEnqueue, q.OpDequeue, q.OpPeek)
+	r := ds.NewRBTree(newAlloc())
+	ops = append(ops, r.OpSearch)
+
+	bad := 0
+	for _, op := range ops {
+		diags := prog.VerifyOp(op)
+		status := "ok"
+		if !op.Annotated() {
+			status = "ok (label checks only: missing CFG annotations)"
+		}
+		if len(diags) > 0 {
+			status = fmt.Sprintf("%d diagnostic(s)", len(diags))
+			bad++
+		}
+		fmt.Printf("%-20s %2d blocks  %s\n", op.Name, len(op.Blocks), status)
+		for _, d := range diags {
+			fmt.Printf("    %s\n", d)
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "stsim: %d operation(s) failed IR verification\n", bad)
+		return 1
+	}
+	fmt.Printf("stsim: %d operations verified clean\n", len(ops))
+	return 0
+}

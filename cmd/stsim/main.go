@@ -58,6 +58,8 @@ func main() {
 		validate  = flag.Bool("validate", true, "poison-check every load")
 		traceN    = flag.Int("trace", 0, "record and print up to N simulation events")
 		profile   = flag.Bool("profile", false, "attribute virtual cycles to phases and print the breakdown")
+		sanitize  = flag.Bool("sanitize", false, "enable the dynamic sanitizer (vector-clock races, shadow-memory UAF) and print its report")
+		lint      = flag.Bool("lint", false, "statically verify every compiled operation's IR and exit")
 		folded    = flag.String("folded", "", "write folded stacks (flamegraph.pl input) to this file; implies -profile")
 
 		checkpointAt  = flag.Float64("checkpoint-at", 0, "checkpoint at this virtual time (ms), then continue")
@@ -66,6 +68,10 @@ func main() {
 		bisect        = flag.Bool("bisect", false, "binary-search virtual time for the first poison read or simulated crash")
 	)
 	flag.Parse()
+
+	if *lint {
+		os.Exit(runLint())
+	}
 
 	cfg := bench.Config{
 		Structure:     *structure,
@@ -79,6 +85,7 @@ func main() {
 		Validate:      *validate,
 		TraceEvents:   *traceN,
 		Profile:       *profile || *folded != "",
+		Sanitize:      *sanitize,
 	}
 	cfg.Core.ForceSlowPct = *slowPct
 	cfg.Core.MaxFree = *maxFree
@@ -133,6 +140,9 @@ func main() {
 		os.Exit(1)
 	}
 	report(res)
+	if res.San != nil {
+		fmt.Printf("\n%s\n", res.San)
+	}
 	if res.Profile != nil {
 		reportProfile(res.Profile)
 	}

@@ -99,7 +99,8 @@ type Allocator struct {
 	pages     map[uint64]*page // heap page number -> metadata
 	freeLists [][]word.Addr    // per-class stacks of free objects
 
-	g allocGauges
+	g   allocGauges
+	obs Observer
 }
 
 // New creates an allocator covering all of m. Address 0 is reserved so the
@@ -219,7 +220,9 @@ func (a *Allocator) TryAlloc(tid int, n int) (word.Addr, error) {
 	a.g.allocs.Add(1)
 	a.g.liveObjects.Add(1)
 	a.g.liveWords.Add(int64(size))
-	_ = tid
+	if a.obs != nil {
+		a.obs.ObjectAlloc(tid, p, n, size)
+	}
 	return p, nil
 }
 
@@ -239,6 +242,9 @@ func (a *Allocator) Free(tid int, p word.Addr) {
 		panic(fmt.Sprintf("alloc: double free of %#x", uint64(p)))
 	}
 	pg.allocated[slot] = false
+	if a.obs != nil {
+		a.obs.ObjectFreeBegin(tid, p, size)
+	}
 	for i := 0; i < size; i++ {
 		a.m.WritePlain(tid, p+word.Addr(i), word.Poison)
 	}
@@ -246,6 +252,9 @@ func (a *Allocator) Free(tid int, p word.Addr) {
 	a.g.frees.Add(1)
 	a.g.liveObjects.Add(-1)
 	a.g.liveWords.Add(-int64(size))
+	if a.obs != nil {
+		a.obs.ObjectFreeEnd(tid, p, size)
+	}
 }
 
 // Unalloc silently returns a never-published object to its free list with
@@ -272,6 +281,9 @@ func (a *Allocator) Unalloc(p word.Addr) {
 	a.g.allocs.Add(-1) // the allocation never happened, architecturally
 	a.g.liveObjects.Add(-1)
 	a.g.liveWords.Add(-int64(size))
+	if a.obs != nil {
+		a.obs.ObjectUnalloc(p, size)
+	}
 }
 
 // locate maps an address to its heap page and slot.

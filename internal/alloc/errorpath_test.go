@@ -1,0 +1,148 @@
+// Error-path coverage for the allocator's misuse panics and for the
+// shadow-memory sanitizer's view of the same mistakes. This lives in an
+// external test package because internal/sanitize imports internal/alloc:
+// the shadow assertions need both sides of that edge.
+package alloc_test
+
+import (
+	"strings"
+	"testing"
+
+	"stacktrack/internal/alloc"
+	"stacktrack/internal/mem"
+	"stacktrack/internal/sanitize"
+	"stacktrack/internal/word"
+)
+
+// sanitized builds a memory + allocator pair with a sanitizer observing
+// both, mirroring the harness wiring in internal/bench.
+func sanitized(t *testing.T) (*alloc.Allocator, *mem.Memory, *sanitize.Sanitizer) {
+	t.Helper()
+	m := mem.New(mem.Config{Words: 1 << 16})
+	al := alloc.New(m)
+	s := sanitize.New(2)
+	m.SetObserver(s)
+	al.SetObserver(s)
+	s.Attach(nil, al)
+	return al, m, s
+}
+
+// mustPanic runs f and asserts it panics with a message containing want.
+func mustPanic(t *testing.T, want string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected a panic containing %q, got none", want)
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, want) {
+			t.Fatalf("panic %v does not mention %q", r, want)
+		}
+	}()
+	f()
+}
+
+func TestFreeDoubleFreePanics(t *testing.T) {
+	al, _, _ := sanitized(t)
+	p := al.Alloc(0, 4)
+	al.Free(0, p)
+	mustPanic(t, "double free", func() { al.Free(0, p) })
+}
+
+func TestFreeInteriorPointerPanics(t *testing.T) {
+	al, _, _ := sanitized(t)
+	p := al.Alloc(0, 4)
+	mustPanic(t, "interior pointer", func() { al.Free(0, p+1) })
+}
+
+func TestFreeNeverAllocatedPanics(t *testing.T) {
+	al, _, _ := sanitized(t)
+	// Address 1 precedes the heap: nothing was ever allocated there.
+	mustPanic(t, "non-heap address", func() { al.Free(0, word.Addr(1)) })
+	// Same for an address past the break.
+	al.Alloc(0, 4)
+	_, hi := al.HeapRange()
+	mustPanic(t, "non-heap address", func() { al.Free(0, hi+64) })
+}
+
+func TestUnallocOfFreeSlotPanics(t *testing.T) {
+	al, _, _ := sanitized(t)
+	p := al.Alloc(0, 4)
+	al.Free(0, p)
+	mustPanic(t, "free object", func() { al.Unalloc(p) })
+}
+
+// TestShadowReportsRedzoneOverflow allocates fewer words than the size
+// class provides and pokes the slack: the shadow must flag the access as
+// a redzone hit without disturbing the valid range.
+func TestShadowReportsRedzoneOverflow(t *testing.T) {
+	al, m, s := sanitized(t)
+	// 3 words land in the 4-word class: one word of redzone slack.
+	p := al.Alloc(0, 3)
+	for i := 0; i < 3; i++ {
+		m.WritePlain(0, p+word.Addr(i), 7)
+	}
+	if got := s.Summary(); !got.Clean() {
+		t.Fatalf("in-bounds writes must be clean, got %s", got)
+	}
+	m.WritePlain(0, p+3, 7) // one past the requested size
+	sum := s.Summary()
+	if sum.Redzone != 1 {
+		t.Fatalf("want exactly one redzone access, got %s", sum)
+	}
+	if len(sum.Accesses) != 1 {
+		t.Fatalf("redzone access not retained: %s", sum)
+	}
+	rep := sum.Accesses[0]
+	if rep.State != "redzone" || !rep.Write || rep.Addr != p+3 || rep.Object != p {
+		t.Fatalf("redzone report misattributed: %+v", rep)
+	}
+	if rep.Alloc == nil {
+		t.Fatal("redzone report carries no allocation provenance")
+	}
+}
+
+// TestShadowReportsUseAfterFree frees an object and touches it again:
+// the shadow must classify the access as freed and attach both the
+// allocation and the free site.
+func TestShadowReportsUseAfterFree(t *testing.T) {
+	al, m, s := sanitized(t)
+	p := al.Alloc(0, 4)
+	al.Free(0, p)
+	if got := s.Summary(); !got.Clean() {
+		t.Fatalf("the free's own poison stores must not self-report, got %s", got)
+	}
+	m.ReadPlain(1, p+1)
+	sum := s.Summary()
+	if sum.UAFAccesses != 1 || len(sum.Accesses) != 1 {
+		t.Fatalf("want exactly one UAF access, got %s", sum)
+	}
+	rep := sum.Accesses[0]
+	if rep.State != "freed" || rep.Write || rep.Object != p {
+		t.Fatalf("UAF report misattributed: %+v", rep)
+	}
+	if rep.Alloc == nil || rep.Free == nil {
+		t.Fatalf("UAF report must carry alloc and free provenance: %+v", rep)
+	}
+	if rep.Use.TID != 1 || rep.Free.TID != 0 {
+		t.Fatalf("UAF sites attribute the wrong threads: %+v", rep)
+	}
+}
+
+// TestShadowReuseClearsFreedState checks the recycle path: once a freed
+// slot is reallocated, accesses to it are valid again.
+func TestShadowReuseClearsFreedState(t *testing.T) {
+	al, m, s := sanitized(t)
+	p := al.Alloc(0, 4)
+	al.Free(0, p)
+	q := al.Alloc(0, 4)
+	if q != p {
+		t.Fatalf("size-class free list should recycle %#x, gave %#x", uint64(p), uint64(q))
+	}
+	m.WritePlain(0, q, 1)
+	m.ReadPlain(0, q)
+	if got := s.Summary(); !got.Clean() {
+		t.Fatalf("recycled slot must be valid again, got %s", got)
+	}
+}

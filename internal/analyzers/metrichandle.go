@@ -1,0 +1,108 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// MetricHandle enforces the metrics registry's wiring discipline: the
+// get-or-create lookups (Registry.Counter / .Gauge / .Histogram) run at
+// wiring time, once, with a literal name, and the returned handle is
+// what hot paths touch. Two syntactic deviations betray a violation:
+//
+//   - a non-literal metric name (built with fmt.Sprintf or a variable)
+//     defeats grep-ability and suggests per-instance metric families,
+//     which the fixed-lane registry does not model;
+//   - a lookup inside a for/range loop is a lookup on a hot path — the
+//     registry's map access and lock are exactly what handles exist to
+//     keep out of the simulator's inner loops.
+//
+// internal/metrics itself is exempt: SaveState/RestoreState re-resolve
+// metrics from their serialized names by design.
+var MetricHandle = &Analyzer{
+	Name: "metrichandle",
+	Doc:  "metrics registry lookups use literal names, outside loops (wire once, then use the handle)",
+	Run:  runMetricHandle,
+}
+
+var registryMethods = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true}
+
+func runMetricHandle(p *Pass) {
+	if p.Dir == "internal/metrics" {
+		return
+	}
+	for _, f := range p.Files {
+		var loops []ast.Node // enclosing for/range statements on the walk path
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				loops = append(loops, s)
+				ast.Inspect(loopBody(s), walk)
+				loops = loops[:len(loops)-1]
+				return false
+			case *ast.CallExpr:
+				checkMetricCall(p, s, len(loops) > 0)
+			}
+			return true
+		}
+		ast.Inspect(f, walk)
+	}
+}
+
+// loopBody returns the body of a for or range statement.
+func loopBody(n ast.Node) *ast.BlockStmt {
+	switch s := n.(type) {
+	case *ast.ForStmt:
+		return s.Body
+	case *ast.RangeStmt:
+		return s.Body
+	}
+	return nil
+}
+
+func checkMetricCall(p *Pass, call *ast.CallExpr, inLoop bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !registryMethods[sel.Sel.Name] || len(call.Args) == 0 {
+		return
+	}
+	// Without type information, "is the receiver a *metrics.Registry"
+	// is approximated by "does the first argument look like a metric
+	// name": registry lookups always take the name first. Non-string
+	// first arguments (e.g. a prometheus-style label struct) never
+	// match, and no other type in the repo has these method names.
+	name, isLit := stringLiteral(call.Args[0])
+	if !isLit {
+		if couldBeString(call.Args[0]) {
+			p.Reportf(call.Pos(), "metric name for %s is not a string literal: metric names are a grep-able contract, wire them as constants", sel.Sel.Name)
+		}
+		return
+	}
+	if inLoop {
+		p.Reportf(call.Pos(), "registry lookup %s(%q) inside a loop: resolve the handle once at wiring time and reuse it", sel.Sel.Name, name)
+	}
+}
+
+// stringLiteral reports whether e is a string literal and returns it.
+func stringLiteral(e ast.Expr) (string, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	return lit.Value[1 : len(lit.Value)-1], true
+}
+
+// couldBeString reports whether e plausibly evaluates to a string
+// (identifier, selector, call, concat) rather than being obviously
+// another type (numeric literal, composite literal).
+func couldBeString(e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.BasicLit:
+		return v.Kind == token.STRING
+	case *ast.CompositeLit, *ast.FuncLit:
+		return false
+	case *ast.BinaryExpr:
+		return couldBeString(v.X)
+	}
+	return true
+}

@@ -1,0 +1,119 @@
+package analyzers
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// StateSem enforces the snapshot contract: exported structs whose name
+// ends in "State" are value-semantic payloads (the SaveState/RestoreState
+// convention — a State never aliases live storage, so it can be restored
+// into any number of instances). Reference-typed fields break that
+// silently: a map or a pointer smuggled into a State shares structure
+// with whatever built it, and a later restore mutates the snapshot.
+//
+// Allowed exceptions, both visible syntactically:
+//   - pointer fields whose pointee type name ends in "State" or "Snap":
+//     nested snapshot payloads (reclaim.State's per-scheme parts,
+//     snap.State's per-layer parts), themselves held to this rule;
+//   - structs whose declaring type has a Clone method carrying a doc
+//     comment — the documented deep-copy takes over the obligation.
+//
+// Slices are permitted: the package convention (stated on every State
+// doc) is that SaveState deep-copies them, which no syntax check can
+// verify; the rule here targets the field kinds that are never
+// deep-copied by convention.
+var StateSem = &Analyzer{
+	Name: "statesem",
+	Doc:  "exported *State structs must stay value-semantic (no pointer/map fields without a documented Clone)",
+	Run:  runStateSem,
+}
+
+func runStateSem(p *Pass) {
+	// First collect types with documented Clone methods in this package.
+	cloned := map[string]bool{}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Name.Name != "Clone" || fd.Doc == nil {
+				continue
+			}
+			if name := recvTypeName(fd.Recv); name != "" {
+				cloned[name] = true
+			}
+		}
+	}
+
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || !ts.Name.IsExported() || !strings.HasSuffix(ts.Name.Name, "State") {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok || cloned[ts.Name.Name] {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					checkStateField(p, ts.Name.Name, field)
+				}
+			}
+		}
+	}
+}
+
+func checkStateField(p *Pass, owner string, field *ast.Field) {
+	switch t := field.Type.(type) {
+	case *ast.MapType:
+		p.Reportf(field.Pos(), "%s has a map field (type %s): State structs are value-semantic snapshots; deep-copy into a slice, or document a Clone method", owner, typeString(field.Type))
+	case *ast.StarExpr:
+		if n := baseTypeName(t.X); strings.HasSuffix(n, "State") || strings.HasSuffix(n, "Snap") {
+			return // nested snapshot payload, itself under this rule
+		}
+		p.Reportf(field.Pos(), "%s has a pointer field (type %s): State structs are value-semantic snapshots; store the value, or document a Clone method", owner, typeString(field.Type))
+	}
+}
+
+// recvTypeName extracts T from a receiver of the form (r T) or (r *T).
+func recvTypeName(recv *ast.FieldList) string {
+	if len(recv.List) != 1 {
+		return ""
+	}
+	return baseTypeName(recv.List[0].Type)
+}
+
+// baseTypeName unwraps pointers and package qualifiers to the bare type
+// name: *pkg.Foo -> Foo.
+func baseTypeName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.StarExpr:
+		return baseTypeName(t.X)
+	case *ast.SelectorExpr:
+		return t.Sel.Name
+	case *ast.Ident:
+		return t.Name
+	}
+	return ""
+}
+
+// typeString renders simple type expressions for messages.
+func typeString(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return "*" + typeString(t.X)
+	case *ast.SelectorExpr:
+		return typeString(t.X) + "." + t.Sel.Name
+	case *ast.MapType:
+		return "map[" + typeString(t.Key) + "]" + typeString(t.Value)
+	case *ast.ArrayType:
+		return "[]" + typeString(t.Elt)
+	}
+	return "?"
+}

@@ -23,6 +23,9 @@ type Options struct {
 	// Profile enables the virtual-cycle profiler on every point (fills
 	// Result.Profile / Result.Folded; never changes simulated results).
 	Profile bool
+	// Sanitize enables the dynamic-analysis layer on every point (fills
+	// Result.San; never changes simulated results).
+	Sanitize bool
 	// Collect, if non-nil, observes every completed point as it finishes:
 	// the series label (scheme or variant), the thread count, and the
 	// full Result. The JSON exporter hooks in here.
@@ -64,6 +67,7 @@ func (o Options) cfg(structure, scheme string, threads int) Config {
 		WarmupCycles:  cost.FromSeconds(o.WarmupMs / 1000),
 		MeasureCycles: cost.FromSeconds(o.MeasureMs / 1000),
 		Profile:       o.Profile,
+		Sanitize:      o.Sanitize,
 	}
 }
 

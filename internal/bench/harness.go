@@ -17,6 +17,7 @@ import (
 	"stacktrack/internal/prog"
 	"stacktrack/internal/reclaim"
 	"stacktrack/internal/rng"
+	"stacktrack/internal/sanitize"
 	"stacktrack/internal/sched"
 	"stacktrack/internal/topo"
 	"stacktrack/internal/trace"
@@ -103,6 +104,12 @@ type Config struct {
 	// charges cycles — so simulated results are bit-identical with it
 	// on or off.
 	Profile bool
+
+	// Sanitize enables the dynamic-analysis layer (internal/sanitize):
+	// happens-before race detection plus shadow-memory UAF/redzone
+	// checking, reported in Result.San. Like Profile, it observes only —
+	// simulated results are bit-identical with it on or off.
+	Sanitize bool
 }
 
 // WithDefaults fills unset fields with the paper's parameters.
@@ -211,6 +218,10 @@ type Result struct {
 	// Histories holds each key's completed operations in issue order when
 	// Config.History is set (set structures only).
 	Histories map[uint64][]KeyOp
+
+	// San carries the sanitizer's report bundle when Config.Sanitize is
+	// set: data races, use-after-free, redzone, and wild accesses.
+	San *sanitize.Summary
 }
 
 // instance bundles the live simulation objects of one run.
@@ -221,6 +232,7 @@ type instance struct {
 	sc   *sched.Scheduler
 	reg  *metrics.Registry
 	prof *metrics.Profiler
+	san  *sanitize.Sanitizer
 
 	threads []*sched.Thread
 	drivers []*prog.Driver
@@ -294,6 +306,12 @@ func newInstance(cfg Config) (*instance, error) {
 	if cfg.Profile {
 		in.prof = metrics.NewProfiler()
 	}
+	if cfg.Sanitize {
+		in.san = sanitize.New(cfg.Threads)
+		in.m.SetObserver(in.san)
+		in.al.SetObserver(in.san)
+		in.sc.SetObserver(in.san)
+	}
 
 	if cfg.TraceEvents > 0 {
 		if cfg.RingTrace {
@@ -321,6 +339,9 @@ func newInstance(cfg Config) (*instance, error) {
 			t.Prof = in.prof.Thread(i)
 		}
 		in.threads = append(in.threads, t)
+	}
+	if in.san != nil {
+		in.san.Attach(in.threads, in.al)
 	}
 
 	// Scheme next: hazard/anchor slots are also static regions.
@@ -537,7 +558,13 @@ func (in *instance) finish() (*Result, error) {
 	res.Hits = in.hits - warmHits
 
 	// Drain: finish in-flight operations, then let the scheme reclaim.
+	// Race detection ends here: the drain's host-forced frees bypass the
+	// schemes' synchronization protocols, so they have no happens-before
+	// story to check. Shadow (UAF) checking stays on through the drain.
 	in.stopping = true
+	if in.san != nil {
+		in.san.EndRun()
+	}
 	in.sc.Run(horizon + cfg.MeasureCycles + cost.FromSeconds(1.0))
 	for range [4]int{} {
 		for _, t := range in.threads {
@@ -559,6 +586,9 @@ func (in *instance) finish() (*Result, error) {
 	res.FinalCount = int(res.BaselineLive)
 	res.Trace = in.tracer
 	res.Histories = in.histories
+	if in.san != nil {
+		res.San = in.san.Summary()
+	}
 	return res, nil
 }
 

@@ -64,6 +64,25 @@ type HarnessState struct {
 
 func init() { gob.Register(&HarnessState{}) }
 
+// Clone deep-copies the state, including the Histories map — the one
+// reference-typed field a shallow copy would alias. A HarnessState is
+// value-semantic through this method: callers that duplicate or retain
+// one (the in-process forking paths) go through Clone, never through
+// struct assignment.
+func (hs *HarnessState) Clone() *HarnessState {
+	out := *hs
+	out.HistStarts = append([]cost.Cycles(nil), hs.HistStarts...)
+	out.Drivers = append([]prog.DriverState(nil), hs.Drivers...)
+	out.PlainRunners = append([]prog.PlainRunnerState(nil), hs.PlainRunners...)
+	if hs.Histories != nil {
+		out.Histories = make(map[uint64][]KeyOp, len(hs.Histories))
+		for k, ops := range hs.Histories {
+			out.Histories[k] = append([]KeyOp(nil), ops...)
+		}
+	}
+	return &out
+}
+
 // fingerprint digests every Config field that shapes instance
 // construction. Policy and the observability toggles are excluded: they
 // do not change the simulated state, and Policy is not serializable.
@@ -72,6 +91,7 @@ func (c Config) fingerprint() string {
 	c.TraceEvents = 0
 	c.RingTrace = false
 	c.Profile = false
+	c.Sanitize = false
 	return fmt.Sprintf("%+v", c)
 }
 
@@ -235,6 +255,11 @@ func SessionFromSnapshot(cfg Config, st *snap.State) (*Session, error) {
 	}
 	if err := in.restoreHarness(hs); err != nil {
 		return nil, err
+	}
+	// Sanitizer state is analysis-only and never snapshotted; rebuild the
+	// shadow from the restored allocator and start race detection afresh.
+	if in.san != nil {
+		in.san.ResetFromAlloc()
 	}
 	return s, nil
 }

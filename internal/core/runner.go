@@ -176,6 +176,7 @@ func (r *Runner) stepUnsupported(t *sched.Thread) bool {
 		}
 	}
 	cur := r.pc
+	t.CurOp, t.CurBlock = r.op.Name, cur
 	var sp metrics.Span
 	var v0 cost.Cycles
 	if t.Prof != nil {
@@ -279,6 +280,7 @@ func (r *Runner) fastWork(t *sched.Thread) (finished bool, abort mem.AbortReason
 	// One basic block, plus the SPLIT_CHECKPOINT bookkeeping the compiler
 	// injected at its start.
 	cur := r.pc
+	t.CurOp, t.CurBlock = r.op.Name, cur
 	t.Charge(cost.Block + cost.Checkpoint)
 	r.pc = r.op.Blocks[r.pc](t, r.frame)
 	r.steps++
@@ -396,6 +398,7 @@ func (r *Runner) handleAbort(t *sched.Thread, reason mem.AbortReason) {
 
 func (r *Runner) stepSlow(t *sched.Thread) bool {
 	cur := r.pc
+	t.CurOp, t.CurBlock = r.op.Name, cur
 	var sp metrics.Span
 	var v0 cost.Cycles
 	if t.Prof != nil {
@@ -428,6 +431,7 @@ func (r *Runner) beginScan(t *sched.Thread, resume runnerState) {
 	r.scan = r.st.startScan(t)
 	r.resume = resume
 	r.state = stScan
+	t.CurOp, t.CurBlock = "(scan)", -1
 }
 
 func (r *Runner) finishOp(t *sched.Thread) bool {

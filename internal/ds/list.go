@@ -89,7 +89,7 @@ func emitListSearch(b *prog.Builder, headOf headOfFn, lbRetry, lbPos *int) {
 		f.Set(lsCurr, uint64(word.Ptr(w)))
 		f.Set(lsParity, 0)
 		return *lbLoop
-	})
+	}, prog.Goto(lbLoop))
 
 	b.Bind(lbLoop)
 	b.Add(func(t *sched.Thread, f sched.Frame) int {
@@ -99,7 +99,7 @@ func emitListSearch(b *prog.Builder, headOf headOfFn, lbRetry, lbPos *int) {
 		}
 		f.Set(lsNext, t.Load(curr+listOffNext))
 		return *lbCheckMark
-	})
+	}, prog.Goto(lbPos, lbCheckMark))
 
 	b.Bind(lbCheckMark)
 	b.Add(func(t *sched.Thread, f sched.Frame) int {
@@ -128,7 +128,7 @@ func emitListSearch(b *prog.Builder, headOf headOfFn, lbRetry, lbPos *int) {
 			return *lbLoop
 		}
 		return *lbRetry
-	})
+	}, prog.Goto(lbKey, lbRetry, lbLoop))
 
 	b.Bind(lbKey)
 	b.Add(func(t *sched.Thread, f sched.Frame) int {
@@ -156,7 +156,7 @@ func emitListSearch(b *prog.Builder, headOf headOfFn, lbRetry, lbPos *int) {
 			return *lbLoop
 		}
 		return *lbPos
-	})
+	}, prog.Goto(lbLoop, lbCheckMark, lbPos))
 }
 
 func buildListContains(id int, name string, headOf headOfFn) *prog.Op {
@@ -174,7 +174,7 @@ func buildListContains(id int, name string, headOf headOfFn) *prog.Op {
 		}
 		t.SetReg(prog.RegResult, boolWord(found))
 		return prog.Done
-	})
+	}, prog.SetsResult(), prog.Returns())
 	return b.Build(id, name, listFrameWords)
 }
 
@@ -190,7 +190,7 @@ func buildListInsert(id int, name string, headOf headOfFn) *prog.Op {
 	b.Add(func(t *sched.Thread, f sched.Frame) int {
 		f.Set(lsNew, 0)
 		return *lbRetry
-	})
+	}, prog.Goto(lbRetry))
 	emitListSearch(b, headOf, lbRetry, lbPos)
 
 	b.Bind(lbPos)
@@ -206,7 +206,7 @@ func buildListInsert(id int, name string, headOf headOfFn) *prog.Op {
 			return prog.Done
 		}
 		return *lbMake
-	})
+	}, prog.Goto(lbMake), prog.SetsResult(), prog.Returns())
 
 	b.Bind(lbMake)
 	b.Add(func(t *sched.Thread, f sched.Frame) int {
@@ -219,7 +219,7 @@ func buildListInsert(id int, name string, headOf headOfFn) *prog.Op {
 		}
 		t.Store(n+listOffNext, uint64(f.GetPtr(lsCurr)))
 		return *lbCAS
-	})
+	}, prog.Goto(lbCAS))
 
 	b.Bind(lbCAS)
 	b.Add(func(t *sched.Thread, f sched.Frame) int {
@@ -231,7 +231,7 @@ func buildListInsert(id int, name string, headOf headOfFn) *prog.Op {
 			return prog.Done
 		}
 		return *lbRetry
-	})
+	}, prog.Goto(lbRetry), prog.SetsResult(), prog.Returns())
 	return b.Build(id, name, listFrameWords)
 }
 
@@ -252,7 +252,7 @@ func buildListDelete(id int, name string, headOf headOfFn) *prog.Op {
 			return prog.Done
 		}
 		return *lbMark
-	})
+	}, prog.Goto(lbMark), prog.SetsResult(), prog.Returns())
 
 	b.Bind(lbMark)
 	b.Add(func(t *sched.Thread, f sched.Frame) int {
@@ -267,7 +267,7 @@ func buildListDelete(id int, name string, headOf headOfFn) *prog.Op {
 			return *lbUnlink
 		}
 		return *lbMark
-	})
+	}, prog.Goto(lbRetry, lbUnlink, lbMark))
 
 	b.Bind(lbUnlink)
 	b.Add(func(t *sched.Thread, f sched.Frame) int {
@@ -281,7 +281,7 @@ func buildListDelete(id int, name string, headOf headOfFn) *prog.Op {
 		// it will retire the node. The delete linearized at the mark.
 		t.SetReg(prog.RegResult, 1)
 		return prog.Done
-	})
+	}, prog.SetsResult(), prog.Returns())
 	return b.Build(id, name, listFrameWords)
 }
 

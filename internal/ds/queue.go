@@ -68,7 +68,7 @@ func (q *Queue) buildEnqueue() *prog.Op {
 		t.Store(n+qOffNext, 0)
 		f.Set(qsNode, uint64(n))
 		return *lbRetry
-	})
+	}, prog.Goto(lbRetry))
 
 	b.Bind(lbRetry)
 	b.Add(func(t *sched.Thread, f sched.Frame) int {
@@ -76,7 +76,7 @@ func (q *Queue) buildEnqueue() *prog.Op {
 		f.Set(qsTail, uint64(tail))
 		f.Set(qsNext, t.Load(tail+qOffNext))
 		return *lbSwing
-	})
+	}, prog.Goto(lbSwing))
 
 	b.Bind(lbSwing)
 	b.Add(func(t *sched.Thread, f sched.Frame) int {
@@ -97,7 +97,7 @@ func (q *Queue) buildEnqueue() *prog.Op {
 			return prog.Done
 		}
 		return *lbRetry
-	})
+	}, prog.Goto(lbRetry), prog.SetsResult(), prog.Returns())
 	return b.Build(OpEnqueue, "queue.Enqueue", qFrameWords)
 }
 
@@ -106,7 +106,7 @@ func (q *Queue) buildDequeue() *prog.Op {
 	lbRetry := b.Label()
 	lbDecide := b.Label()
 
-	b.Add(func(t *sched.Thread, f sched.Frame) int { return *lbRetry })
+	b.Add(func(t *sched.Thread, f sched.Frame) int { return *lbRetry }, prog.Goto(lbRetry))
 
 	b.Bind(lbRetry)
 	b.Add(func(t *sched.Thread, f sched.Frame) int {
@@ -116,7 +116,7 @@ func (q *Queue) buildDequeue() *prog.Op {
 		w := t.ProtectLoad(1, head+qOffNext)
 		f.Set(qsNext, w)
 		return *lbDecide
-	})
+	}, prog.Goto(lbDecide))
 
 	b.Bind(lbDecide)
 	b.Add(func(t *sched.Thread, f sched.Frame) int {
@@ -141,7 +141,7 @@ func (q *Queue) buildDequeue() *prog.Op {
 			return prog.Done
 		}
 		return *lbRetry
-	})
+	}, prog.Goto(lbRetry), prog.SetsResult(), prog.Returns())
 	return b.Build(OpDequeue, "queue.Dequeue", qFrameWords)
 }
 
@@ -149,7 +149,7 @@ func (q *Queue) buildPeek() *prog.Op {
 	b := prog.NewBuilder()
 	lbRetry := b.Label()
 
-	b.Add(func(t *sched.Thread, f sched.Frame) int { return *lbRetry })
+	b.Add(func(t *sched.Thread, f sched.Frame) int { return *lbRetry }, prog.Goto(lbRetry))
 
 	b.Bind(lbRetry)
 	b.Add(func(t *sched.Thread, f sched.Frame) int {
@@ -165,7 +165,7 @@ func (q *Queue) buildPeek() *prog.Op {
 		}
 		t.SetReg(prog.RegResult, t.Load(next+qOffVal))
 		return prog.Done
-	})
+	}, prog.Goto(lbRetry), prog.SetsResult(), prog.Returns())
 	return b.Build(OpPeek, "queue.Peek", qFrameWords)
 }
 

@@ -60,7 +60,7 @@ func (r *RBTree) buildSearch() *prog.Op {
 	b.Add(func(t *sched.Thread, f sched.Frame) int {
 		f.Set(rbNode, t.Load(r.root))
 		return *lbLoop
-	})
+	}, prog.Goto(lbLoop))
 
 	b.Bind(lbLoop)
 	b.Add(func(t *sched.Thread, f sched.Frame) int {
@@ -69,7 +69,7 @@ func (r *RBTree) buildSearch() *prog.Op {
 			return prog.Done
 		}
 		return *lbCmp
-	})
+	}, prog.Goto(lbCmp), prog.SetsResult(), prog.Returns())
 
 	b.Bind(lbCmp)
 	b.Add(func(t *sched.Thread, f sched.Frame) int {
@@ -86,7 +86,7 @@ func (r *RBTree) buildSearch() *prog.Op {
 			f.Set(rbNode, t.Load(node+rbOffRight))
 		}
 		return *lbLoop
-	})
+	}, prog.Goto(lbLoop), prog.SetsResult(), prog.Returns())
 	return b.Build(0, "rbtree.Search", rbFrameWords)
 }
 

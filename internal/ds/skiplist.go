@@ -122,8 +122,9 @@ func randomLevel(t *sched.Thread) int {
 // caller has set f[skRet]; on exit preds/succs are filled, f[skFound] says
 // whether an unmarked node with the key sits at succs[0], and control jumps
 // to f[skRet]. Marked nodes encountered on the way are snipped; level-0
-// snips retire the node.
-func (s *SkipList) emitFind(b *prog.Builder, lbFind *int) {
+// snips retire the node. rets lists every label the caller may store in
+// f[skRet] — the computed return jump's declared targets for the verifier.
+func (s *SkipList) emitFind(b *prog.Builder, lbFind *int, rets ...*int) {
 	lbLevel := b.Label()
 	lbWalk := b.Label()
 	lbCheck := b.Label()
@@ -140,7 +141,7 @@ func (s *SkipList) emitFind(b *prog.Builder, lbFind *int) {
 		f.Set(skLevel, MaxLevel-1)
 		f.Set(skParity, 0)
 		return *lbLevel
-	})
+	}, prog.Goto(lbLevel))
 
 	// Begin a level: load pred.next[level] into curr's slot. A marked
 	// value means the predecessor was deleted under us; a reference taken
@@ -157,7 +158,7 @@ func (s *SkipList) emitFind(b *prog.Builder, lbFind *int) {
 		}
 		f.Set(skCurr, uint64(word.Ptr(w)))
 		return *lbWalk
-	})
+	}, prog.Goto(lbFind, lbWalk))
 
 	// Walk: read curr's successor plainly (curr is guarded).
 	b.Bind(lbWalk)
@@ -169,7 +170,7 @@ func (s *SkipList) emitFind(b *prog.Builder, lbFind *int) {
 		}
 		f.Set(skSucc, t.Load(nextAddr(curr, int(f.Get(skLevel)))))
 		return *lbCheck
-	})
+	}, prog.Goto(lbDescend, lbCheck))
 
 	// Check: snip a marked curr, advance past a small key, or descend.
 	b.Bind(lbCheck)
@@ -214,7 +215,7 @@ func (s *SkipList) emitFind(b *prog.Builder, lbFind *int) {
 			return *lbWalk
 		}
 		return *lbDescend
-	})
+	}, prog.Goto(lbFind, lbWalk, lbCheck, lbDescend))
 
 	// Descend: record pred/succ for this level with guard handoffs (both
 	// are currently guarded by the walk slots), then go down or finish.
@@ -232,7 +233,7 @@ func (s *SkipList) emitFind(b *prog.Builder, lbFind *int) {
 			return *lbLevel
 		}
 		return *lbDone
-	})
+	}, prog.Goto(lbLevel, lbDone))
 
 	b.Bind(lbDone)
 	b.Add(func(t *sched.Thread, f sched.Frame) int {
@@ -240,7 +241,7 @@ func (s *SkipList) emitFind(b *prog.Builder, lbFind *int) {
 		found := curr != word.Null && t.Load(curr+skOffKey) == t.Reg(prog.RegArg1)
 		f.Set(skFound, boolWord(found))
 		return int(f.Get(skRet))
-	})
+	}, prog.Goto(rets...))
 }
 
 // buildContains runs the same helping find as the mutators and reports
@@ -257,14 +258,14 @@ func (s *SkipList) buildContains() *prog.Op {
 	b.Add(func(t *sched.Thread, f sched.Frame) int {
 		f.Set(skRet, uint64(*lbAfter))
 		return *lbFind
-	})
-	s.emitFind(b, lbFind)
+	}, prog.Goto(lbFind))
+	s.emitFind(b, lbFind, lbAfter)
 
 	b.Bind(lbAfter)
 	b.Add(func(t *sched.Thread, f sched.Frame) int {
 		t.SetReg(prog.RegResult, f.Get(skFound))
 		return prog.Done
-	})
+	}, prog.SetsResult(), prog.Returns())
 	return b.Build(OpContains, "skiplist.Contains", skFrameWords)
 }
 
@@ -288,8 +289,8 @@ func (s *SkipList) buildInsert() *prog.Op {
 		f.Set(skNode, 0)
 		f.Set(skRet, uint64(*lbAfterFind))
 		return *lbFind
-	})
-	s.emitFind(b, lbFind)
+	}, prog.Goto(lbFind))
+	s.emitFind(b, lbFind, lbAfterFind, lbAfterRefind)
 
 	b.Bind(lbAfterFind)
 	b.Add(func(t *sched.Thread, f sched.Frame) int {
@@ -301,7 +302,7 @@ func (s *SkipList) buildInsert() *prog.Op {
 			return prog.Done
 		}
 		return *lbPrepare
-	})
+	}, prog.Goto(lbPrepare), prog.SetsResult(), prog.Returns())
 
 	// Allocate the node (once) and point its tower at the successors.
 	b.Bind(lbPrepare)
@@ -324,7 +325,7 @@ func (s *SkipList) buildInsert() *prog.Op {
 			t.Store(nextAddr(n, l), f.Get(skSuccs+l))
 		}
 		return *lbBottom
-	})
+	}, prog.Goto(lbBottom))
 
 	// Linearization point: link level 0. The successor must be verifiably
 	// unmarked in the same block as the CAS: linking in front of a marked
@@ -349,7 +350,7 @@ func (s *SkipList) buildInsert() *prog.Op {
 		}
 		f.Set(skRet, uint64(*lbAfterFind))
 		return *lbFind
-	})
+	}, prog.Goto(lbFind, lbLink))
 
 	// Link the higher levels, re-finding on contention. The linking level
 	// lives in its own slot (skTmp): the find subroutine clobbers skLevel.
@@ -359,7 +360,7 @@ func (s *SkipList) buildInsert() *prog.Op {
 			return *lbOK
 		}
 		return *lbLinkTry
-	})
+	}, prog.Goto(lbOK, lbLinkTry))
 
 	b.Bind(lbLinkTry)
 	b.Add(func(t *sched.Thread, f sched.Frame) int {
@@ -386,13 +387,13 @@ func (s *SkipList) buildInsert() *prog.Op {
 			return *lbLink
 		}
 		return *lbRefind
-	})
+	}, prog.Goto(lbOK, lbRefind, lbLinkTry, lbLink))
 
 	b.Bind(lbRefind)
 	b.Add(func(t *sched.Thread, f sched.Frame) int {
 		f.Set(skRet, uint64(*lbAfterRefind))
 		return *lbFind
-	})
+	}, prog.Goto(lbFind))
 
 	b.Bind(lbAfterRefind)
 	b.Add(func(t *sched.Thread, f sched.Frame) int {
@@ -402,13 +403,13 @@ func (s *SkipList) buildInsert() *prog.Op {
 			return *lbOK
 		}
 		return *lbLinkTry
-	})
+	}, prog.Goto(lbOK, lbLinkTry))
 
 	b.Bind(lbOK)
 	b.Add(func(t *sched.Thread, f sched.Frame) int {
 		t.SetReg(prog.RegResult, 1)
 		return prog.Done
-	})
+	}, prog.SetsResult(), prog.Returns())
 	return b.Build(OpInsert, "skiplist.Insert", skFrameWords)
 }
 
@@ -425,8 +426,8 @@ func (s *SkipList) buildDelete() *prog.Op {
 	b.Add(func(t *sched.Thread, f sched.Frame) int {
 		f.Set(skRet, uint64(*lbAfterFind))
 		return *lbFind
-	})
-	s.emitFind(b, lbFind)
+	}, prog.Goto(lbFind))
+	s.emitFind(b, lbFind, lbAfterFind, lbAfterUnlink)
 
 	b.Bind(lbAfterFind)
 	b.Add(func(t *sched.Thread, f sched.Frame) int {
@@ -442,7 +443,7 @@ func (s *SkipList) buildDelete() *prog.Op {
 		f.Set(skTop, t.Load(n+skOffTop))
 		f.Set(skLevel, f.Get(skTop))
 		return *lbMarkTop
-	})
+	}, prog.Goto(lbMarkTop), prog.SetsResult(), prog.Returns())
 
 	// Mark levels top..1.
 	b.Bind(lbMarkTop)
@@ -461,7 +462,7 @@ func (s *SkipList) buildDelete() *prog.Op {
 			DebugEvent(t, "mark", n, level, w, 0)
 		}
 		return *lbMarkTop // re-check (either we marked it or retry)
-	})
+	}, prog.Goto(lbMarkBottom, lbMarkTop))
 
 	// Bottom-level mark: the linearization point.
 	b.Bind(lbMarkBottom)
@@ -482,7 +483,7 @@ func (s *SkipList) buildDelete() *prog.Op {
 			return *lbFind
 		}
 		return *lbMarkBottom
-	})
+	}, prog.Goto(lbFind, lbMarkBottom), prog.SetsResult(), prog.Returns())
 
 	b.Bind(lbAfterUnlink)
 	b.Add(func(t *sched.Thread, f sched.Frame) int {
@@ -495,7 +496,7 @@ func (s *SkipList) buildDelete() *prog.Op {
 		retireNode(t, node)
 		t.SetReg(prog.RegResult, 1)
 		return prog.Done
-	})
+	}, prog.SetsResult(), prog.Returns())
 	return b.Build(OpDelete, "skiplist.Delete", skFrameWords)
 }
 

@@ -1,0 +1,42 @@
+package ds_test
+
+import (
+	"testing"
+
+	"stacktrack/internal/ds"
+	"stacktrack/internal/prog"
+)
+
+// TestAllOpsAnnotatedAndVerified pins the lint contract: every shipped
+// data-structure operation carries full control-flow annotations (so the
+// prog verifier's CFG checks actually ran at Build) and re-verifies clean
+// through the stsim -lint entry point.
+func TestAllOpsAnnotatedAndVerified(t *testing.T) {
+	// Static words must precede heap init, so each structure gets its own
+	// fixture.
+	var ops []*prog.Op
+	l := ds.NewList(newFixture(t, 1).al)
+	ops = append(ops, l.OpContains, l.OpInsert, l.OpDelete)
+	s := ds.NewSkipList(newFixture(t, 1).al)
+	ops = append(ops, s.OpContains, s.OpInsert, s.OpDelete)
+	h := ds.NewHashTable(newFixture(t, 1).al, 32)
+	ops = append(ops, h.OpContains, h.OpInsert, h.OpDelete)
+	q := ds.NewQueue(newFixture(t, 1).al)
+	ops = append(ops, q.OpEnqueue, q.OpDequeue, q.OpPeek)
+	r := ds.NewRBTree(newFixture(t, 1).al)
+	ops = append(ops, r.OpSearch)
+
+	for _, op := range ops {
+		if !op.Annotated() {
+			t.Errorf("%s: missing control-flow annotations", op.Name)
+			continue
+		}
+		if ds := prog.VerifyOp(op); len(ds) != 0 {
+			t.Errorf("%s: %v", op.Name, ds)
+		}
+		cfg := op.CFG()
+		if len(cfg) != len(op.Blocks) {
+			t.Errorf("%s: CFG has %d entries for %d blocks", op.Name, len(cfg), len(op.Blocks))
+		}
+	}
+}

@@ -85,6 +85,15 @@ type RunConfig struct {
 	// crash-free runs only — a crashed thread's in-flight op would make
 	// completed-only checking unsound).
 	CheckLin bool `json:"check_lin,omitempty"`
+
+	// CheckRaces enables the dynamic sanitizer (internal/sanitize) on the
+	// run and the race oracle over its report: a data race or a
+	// shadow-detected bad access fails the schedule. Off by default — the
+	// sanitizer never changes simulated results, but race-failing
+	// schedules only minimize stably when the field is recorded in the
+	// schedule artifact, so it is part of RunConfig rather than a
+	// side-channel flag.
+	CheckRaces bool `json:"check_races,omitempty"`
 }
 
 // WithDefaults fills unset fields with small fuzzing-friendly parameters:
@@ -168,6 +177,7 @@ func (c RunConfig) benchConfig() bench.Config {
 		CrashThreads:  c.CrashThreads,
 		Validate:      true,
 		History:       c.CheckLin && c.CrashThreads == 0,
+		Sanitize:      c.CheckRaces,
 	}
 }
 

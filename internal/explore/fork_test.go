@@ -39,6 +39,14 @@ func TestReplayFromSnapshotMatchesScratch(t *testing.T) {
 	for _, log := range pinnedLogs(t) {
 		log := log
 		t.Run(log.Config.Structure, func(t *testing.T) {
+			if log.Config.CheckRaces {
+				// Snapshot replay is documented-unsound for the race
+				// oracle: the detector's vector-clock history is not part
+				// of the machine state, so a resumed run misses races
+				// whose first access predates the checkpoint. Minimize
+				// gates its acceleration off for these logs.
+				t.Skip("race-oracle artifacts replay from scratch only")
+			}
 			scratch, _, err := ReplayLog(log, 0)
 			if err != nil {
 				t.Fatal(err)

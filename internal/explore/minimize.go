@@ -57,8 +57,13 @@ func Minimize(log *Log, opts MinimizeOptions) (*MinimizeResult, error) {
 	// schedule at a few decision boundaries, and resume each candidate
 	// from the deepest checkpoint whose prefix it shares. Capture passes
 	// are partial replays and do not count against MaxRuns.
+	// Race-oracle runs always replay from scratch: sanitizer state is
+	// analysis-only and deliberately not snapshotted (the shadow heap is
+	// rebuilt from the allocator on restore, but the race detector's
+	// vector-clock history cannot be), so a forked replay misses any race
+	// whose first access predates the snapshot.
 	var cache []snapEntry
-	if !opts.NoFork {
+	if !opts.NoFork && !log.Config.CheckRaces {
 		cache = capturePrefixSnapshots(log.Config, log.Decisions, snapCachePoints)
 	}
 	test := func(ds []Decision) (Verdict, bool) {
@@ -122,7 +127,8 @@ func Minimize(log *Log, opts MinimizeOptions) (*MinimizeResult, error) {
 				// Re-checkpoint on the smaller list: as ddmin strips early
 				// deviations, the surviving prefix pushes deeper into the
 				// run and forked candidates skip correspondingly more.
-				if !opts.NoFork {
+				// Same race-oracle gate as the initial capture above.
+				if !opts.NoFork && !log.Config.CheckRaces {
 					cache = capturePrefixSnapshots(log.Config, cur, snapCachePoints)
 				}
 				break

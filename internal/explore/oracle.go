@@ -17,6 +17,7 @@ const (
 	OracleConservation = "conservation"    // final size != initial + inserts - deletes
 	OracleCrash        = "crash"           // simulated segfault: double free, wild pointer
 	OracleLinearizable = "linearizability" // a key's completed ops admit no legal order
+	OracleRace         = "race"            // the sanitizer reported a data race or bad access
 	OracleLeak         = "leak"            // reserved; not judged by default
 )
 
@@ -41,6 +42,12 @@ func judge(cfg RunConfig, res *bench.Result, crash any) Verdict {
 	if crash != nil {
 		return Verdict{Failed: true, Oracle: OracleCrash, Detail: fmt.Sprint(crash)}
 	}
+	if v := judgeRaces(res); v.Failed {
+		// Before poison: the sanitizer catches the bad access itself,
+		// which is strictly earlier (and more precise) than the poison
+		// value the access eventually returned.
+		return v
+	}
 	if res.UAFReads > 0 {
 		return Verdict{
 			Failed: true, Oracle: OraclePoison,
@@ -54,6 +61,27 @@ func judge(cfg RunConfig, res *bench.Result, crash any) Verdict {
 		return v
 	}
 	return Verdict{}
+}
+
+// judgeRaces fails the run when the sanitizer (enabled by
+// RunConfig.CheckRaces) reported any violation: a vector-clock data race
+// or a shadow-memory bad access (use-after-free, redzone, wild). The
+// detail quotes the first report — it carries both access sites with
+// thread lanes and virtual times, which is what a minimized schedule
+// artifact exists to reproduce.
+func judgeRaces(res *bench.Result) Verdict {
+	san := res.San
+	if san == nil || san.Clean() {
+		return Verdict{}
+	}
+	detail := fmt.Sprintf("%d data race(s), %d use-after-free, %d redzone, %d wild",
+		san.DataRaces, san.UAFAccesses, san.Redzone, san.Wild)
+	if len(san.Races) > 0 {
+		detail += "; first: " + san.Races[0].String()
+	} else if len(san.Accesses) > 0 {
+		detail += "; first: " + san.Accesses[0].String()
+	}
+	return Verdict{Failed: true, Oracle: OracleRace, Detail: detail}
 }
 
 // judgeConservation checks the structure's element count against the exact

@@ -1,0 +1,106 @@
+package explore
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSanitizerReplaysPinnedUAFs re-runs the pinned use-after-free
+// artifacts with the sanitizer enabled. The poison oracle they were saved
+// under only fires when a freed word is *read* while still carrying its
+// poison pattern; the shadow sanitizer instead faults the access itself,
+// so the same schedules must now fail the race oracle with a shadow
+// report carrying full alloc/free/use provenance.
+func TestSanitizerReplaysPinnedUAFs(t *testing.T) {
+	files, err := filepath.Glob("testdata/*-uaf.schedule")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no pinned UAF artifacts found")
+	}
+	for _, path := range files {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			log, err := LoadLog(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			log.Config.CheckRaces = true
+
+			rep, _, err := ReplayLog(log, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Verdict.Failed || rep.Verdict.Oracle != OracleRace {
+				t.Fatalf("sanitized replay should fail the race oracle, got %s", rep.Verdict)
+			}
+			san := rep.Result.San
+			if san == nil {
+				t.Fatal("Result.San missing on a sanitized run")
+			}
+			if san.UAFAccesses == 0 {
+				t.Fatalf("shadow sanitizer saw no UAF accesses: %s", san)
+			}
+			if len(san.Accesses) == 0 {
+				t.Fatal("UAF counted but no access report retained")
+			}
+			// The first faulting access must carry complete provenance:
+			// the use site, the allocation site, and the free site.
+			first := san.Accesses[0]
+			if first.State != "freed" {
+				t.Fatalf("first shadow report is %q, want a use-after-free", first.State)
+			}
+			if first.Use.VTime == 0 {
+				t.Fatal("use site has no virtual time")
+			}
+			if first.Alloc == nil {
+				t.Fatal("no allocation provenance on the first UAF report")
+			}
+			if first.Free == nil {
+				t.Fatal("no free provenance on the first UAF report")
+			}
+			if first.Free.Op == "" {
+				t.Fatal("free provenance names no operation")
+			}
+			// The poison oracle can only fire at or after the faulting
+			// access the shadow sanitizer pinned.
+			if rep.Result.UAFReads > 0 && first.Use.VTime > first.Free.VTime &&
+				first.Free.VTime == 0 {
+				t.Fatal("impossible provenance ordering")
+			}
+		})
+	}
+}
+
+// TestRaceArtifactReportsVectorClockRace pins the complementary detector:
+// the committed racy schedule must produce an actual vector-clock data
+// race (not just a shadow fault), with both sites attributed.
+func TestRaceArtifactReportsVectorClockRace(t *testing.T) {
+	log, err := LoadLog("testdata/skiplist-race.schedule")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, _, err := ReplayLog(log, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Verdict.Failed || rep.Verdict.Oracle != OracleRace {
+		t.Fatalf("want a race verdict, got %s", rep.Verdict)
+	}
+	san := rep.Result.San
+	if san == nil || san.DataRaces == 0 || len(san.Races) == 0 {
+		t.Fatalf("want at least one vector-clock race report, got %v", san)
+	}
+	r := san.Races[0]
+	if r.Access.TID == r.Prior.TID {
+		t.Fatalf("race between a thread and itself: %s", r)
+	}
+	if !strings.Contains(r.Kind, "write") {
+		t.Fatalf("race kind %q should involve a write", r.Kind)
+	}
+	if r.Access.Op == "" || r.Prior.Op == "" {
+		t.Fatalf("race sites must name their operations: %s", r)
+	}
+}

@@ -109,6 +109,7 @@ type Memory struct {
 
 	reg *metrics.Registry
 	c   memCounters
+	obs Observer
 }
 
 // New creates a Memory. It panics if the configuration is invalid, since a
@@ -219,7 +220,11 @@ func (m *Memory) ReadPlain(tid int, a word.Addr) (uint64, bool) {
 			m.doom(int(w-1), Conflict)
 		}
 	}
-	return m.words[a], m.readTouch(tid, l)
+	v, miss := m.words[a], m.readTouch(tid, l)
+	if m.obs != nil {
+		m.obs.PlainRead(tid, a)
+	}
+	return v, miss
 }
 
 // WritePlain performs a non-transactional write by thread tid, dooming any
@@ -233,7 +238,11 @@ func (m *Memory) WritePlain(tid int, a word.Addr, v uint64) bool {
 		m.doomLineConflicts(tid, l)
 	}
 	m.words[a] = v
-	return m.writeTouch(tid, l)
+	miss := m.writeTouch(tid, l)
+	if m.obs != nil {
+		m.obs.PlainWrite(tid, a)
+	}
+	return miss
 }
 
 // CASPlain performs a non-transactional compare-and-swap by thread tid and
@@ -249,11 +258,14 @@ func (m *Memory) CASPlain(tid int, a word.Addr, old, new uint64) (ok, miss bool)
 		m.doomLineConflicts(tid, l)
 	}
 	miss = m.writeTouch(tid, l)
-	if m.words[a] != old {
-		return false, miss
+	ok = m.words[a] == old
+	if ok {
+		m.words[a] = new
 	}
-	m.words[a] = new
-	return true, miss
+	if m.obs != nil {
+		m.obs.SyncRMW(tid, a, ok)
+	}
+	return ok, miss
 }
 
 // AddPlain performs a non-transactional fetch-and-add, returning the new
@@ -267,7 +279,11 @@ func (m *Memory) AddPlain(tid int, a word.Addr, delta uint64) (uint64, bool) {
 		m.doomLineConflicts(tid, l)
 	}
 	m.words[a] += delta
-	return m.words[a], m.writeTouch(tid, l)
+	v, miss := m.words[a], m.writeTouch(tid, l)
+	if m.obs != nil {
+		m.obs.SyncRMW(tid, a, true)
+	}
+	return v, miss
 }
 
 // Peek reads a word without participating in conflict detection or

@@ -1,0 +1,48 @@
+package mem
+
+import "stacktrack/internal/word"
+
+// Observer receives memory-access notifications for dynamic analysis
+// (the sanitizer's race detector and shadow memory). Observation only:
+// implementations must not touch simulated state, and the memory calls
+// each hook after the access it describes has fully taken effect, so an
+// observer sees exactly the committed access order.
+//
+// Transactional accesses are reported at the point the program issues
+// them (TxRead/TxWrite) — note a doomed or aborted transaction's
+// accesses architecturally never happened; only accesses of transactions
+// that were active at issue time are reported, and TxCommit marks the
+// point where the buffered writes became visible. Peek and Poke are
+// deliberately invisible: they are host-side instrumentation, not
+// simulated program behaviour.
+type Observer interface {
+	PlainRead(tid int, a word.Addr)
+	PlainWrite(tid int, a word.Addr)
+	// SyncRMW covers CAS and fetch-and-add; wrote reports whether the
+	// word was actually written (a failed CAS only reads).
+	SyncRMW(tid int, a word.Addr, wrote bool)
+	TxBegin(tid int)
+	TxRead(tid int, a word.Addr)
+	TxWrite(tid int, a word.Addr)
+	TxCommit(tid int)
+	// SyncHint reports a host-modelled synchronization action announced
+	// via NoteSync (see below).
+	SyncHint(tid int, a word.Addr, acquire, release bool)
+}
+
+// SetObserver installs o (nil detaches).
+func (m *Memory) SetObserver(o Observer) { m.obs = o }
+
+// NoteSync announces a synchronization action that the simulation models
+// host-side rather than as memory traffic — e.g. RefCount's per-node
+// count RMWs and DTA's retire-era stamp reads live in Go maps, with only
+// their cycle cost charged. The announcement lets an observer credit the
+// happens-before edge the real instruction would create; it has no
+// simulated effect whatsoever (with no observer installed it is a no-op),
+// so calling it cannot change results. a keys the synchronization object
+// (conventionally the node address whose count or stamp is involved).
+func (m *Memory) NoteSync(tid int, a word.Addr, acquire, release bool) {
+	if m.obs != nil {
+		m.obs.SyncHint(tid, a, acquire, release)
+	}
+}

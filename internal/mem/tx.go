@@ -119,6 +119,9 @@ func (m *Memory) Begin(tid int) *Tx {
 	tx.buf.reset()
 	m.liveTx++
 	m.c.txBegins.Inc(tid)
+	if m.obs != nil {
+		m.obs.TxBegin(tid)
+	}
 	return tx
 }
 
@@ -170,7 +173,11 @@ func (m *Memory) TxRead(tx *Tx, a word.Addr) (uint64, bool, AbortReason) {
 		tx.readLines = append(tx.readLines, l)
 		m.c.linesRead.Inc(tx.tid)
 	}
-	return m.words[a], m.readTouch(tx.tid, l), NoAbort
+	v, miss := m.words[a], m.readTouch(tx.tid, l)
+	if m.obs != nil {
+		m.obs.TxRead(tx.tid, a)
+	}
+	return v, miss, NoAbort
 }
 
 // TxWrite performs a transactional (buffered) write. On a self-abort it
@@ -199,6 +206,9 @@ func (m *Memory) TxWrite(tx *Tx, a word.Addr, v uint64) (bool, AbortReason) {
 	if !tx.buf.put(a, v) {
 		m.selfAbort(tx, Capacity)
 		return false, Capacity
+	}
+	if m.obs != nil {
+		m.obs.TxWrite(tx.tid, a)
 	}
 	return miss, NoAbort
 }
@@ -271,6 +281,9 @@ func (m *Memory) Commit(tx *Tx) AbortReason {
 	m.liveTx--
 	tx.state = TxIdle
 	m.c.commits.Inc(tx.tid)
+	if m.obs != nil {
+		m.obs.TxCommit(tx.tid)
+	}
 	return NoAbort
 }
 

@@ -1,17 +1,57 @@
 package prog
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Builder assembles an operation's basic blocks with forward-referencable
 // labels, the way a compiler lays out a control-flow graph. Blocks obtain
 // their branch targets by dereferencing *Label values at run time, so a
 // label may be bound after the blocks that jump to it are added.
+//
+// Because blocks are opaque closures, their control flow is *declared*:
+// Add accepts Notes naming the block's possible branch targets (Goto),
+// whether it may end the operation (Returns), and whether it writes the
+// R0 result (SetsResult). Build verifies fully annotated operations
+// against these declarations (see verify.go); unannotated blocks keep
+// the legacy label-only checking.
 type Builder struct {
 	blocks []Block
 	attrs  []uint8
 	labels []*int
+	meta   []blockNotes
 	atomic bool
 }
+
+// blockNotes is the declared control flow and effects of one block.
+type blockNotes struct {
+	gotos     []*int
+	returns   bool
+	setsR0    bool
+	annotated bool
+}
+
+// Note annotates a block added with Add/AddUnsupported. Construct Notes
+// with Goto, Returns, and SetsResult.
+type Note struct {
+	gotos   []*int
+	returns bool
+	setsR0  bool
+}
+
+// Goto declares that the block may branch to any of the given labels.
+// Computed branches (the skip list's subroutine return) list every label
+// the jump register can hold.
+func Goto(targets ...*int) Note { return Note{gotos: targets} }
+
+// Returns declares that the block may end the operation (return Done).
+func Returns() Note { return Note{returns: true} }
+
+// SetsResult declares that the block writes R0 — on every path through
+// the block that matters for the result convention (in particular before
+// any Done it returns).
+func SetsResult() Note { return Note{setsR0: true} }
 
 // NewBuilder returns an empty operation builder.
 func NewBuilder() *Builder { return &Builder{} }
@@ -27,14 +67,23 @@ func (b *Builder) Label() *int {
 // Bind points label l at the next block to be added.
 func (b *Builder) Bind(l *int) { *l = len(b.blocks) }
 
-// Add appends a basic block and returns its index.
-func (b *Builder) Add(blk Block) int {
+// Add appends a basic block and returns its index. Optional Notes
+// declare the block's branch targets and effects for the verifier.
+func (b *Builder) Add(blk Block, notes ...Note) int {
 	var attr uint8
 	if b.atomic {
 		attr |= AttrAtomic
 	}
+	var m blockNotes
+	for _, n := range notes {
+		m.annotated = true
+		m.gotos = append(m.gotos, n.gotos...)
+		m.returns = m.returns || n.returns
+		m.setsR0 = m.setsR0 || n.setsR0
+	}
 	b.blocks = append(b.blocks, blk)
 	b.attrs = append(b.attrs, attr)
+	b.meta = append(b.meta, m)
 	return len(b.blocks) - 1
 }
 
@@ -60,29 +109,27 @@ func (b *Builder) AtomicEnd() {
 // defined transaction containing an untransactable instruction can only run
 // on the software slow path, which the paper leaves to the programmer's
 // fallback.
-func (b *Builder) AddUnsupported(blk Block) int {
+func (b *Builder) AddUnsupported(blk Block, notes ...Note) int {
 	if b.atomic {
 		panic("prog: unsupported instruction inside a programmer-defined transactional region")
 	}
-	i := b.Add(blk)
+	i := b.Add(blk, notes...)
 	b.attrs[i] |= AttrUnsupported
 	return i
 }
 
-// Build finalizes the operation. It panics on unbound labels — an unbound
-// label is a construction bug that would otherwise surface as a bizarre
-// runtime jump.
+// Build finalizes the operation, running the static verifier first. It
+// panics on any diagnostic — an unbound label, an out-of-range branch, a
+// return path that never wrote R0 — because a malformed operation would
+// otherwise surface as a bizarre runtime jump deep inside a simulation.
+// Use Verify for the non-panicking report.
 func (b *Builder) Build(id int, name string, frameWords int) *Op {
-	for i, l := range b.labels {
-		if *l < 0 || *l >= len(b.blocks) {
-			panic(fmt.Sprintf("prog: op %s has unbound or out-of-range label %d (-> %d)", name, i, *l))
+	if ds := b.Verify(name); len(ds) > 0 {
+		msgs := make([]string, len(ds))
+		for i, d := range ds {
+			msgs[i] = d.String()
 		}
+		panic(fmt.Sprintf("prog: op %s failed verification:\n  %s", name, strings.Join(msgs, "\n  ")))
 	}
-	if len(b.blocks) == 0 {
-		panic(fmt.Sprintf("prog: op %s has no blocks", name))
-	}
-	if b.atomic {
-		panic(fmt.Sprintf("prog: op %s has an unclosed transactional region", name))
-	}
-	return &Op{ID: id, Name: name, FrameWords: frameWords, Blocks: b.blocks, attrs: b.attrs}
+	return &Op{ID: id, Name: name, FrameWords: frameWords, Blocks: b.blocks, attrs: b.attrs, cfg: b.resolveCFG()}
 }

@@ -60,6 +60,7 @@ type Op struct {
 	Blocks []Block
 
 	attrs []uint8
+	cfg   []BlockInfo
 }
 
 // Atomic reports whether block i lies inside a programmer-defined
@@ -124,6 +125,7 @@ func (r *PlainRunner) Step(t *sched.Thread) bool {
 		panic("prog: Step without an operation in progress")
 	}
 	cur := r.pc
+	t.CurOp, t.CurBlock = r.op.Name, cur
 	var sp metrics.Span
 	var v0 cost.Cycles
 	if t.Prof != nil {

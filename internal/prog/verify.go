@@ -1,0 +1,274 @@
+package prog
+
+// Static verification of the compiled operation IR. The builder's blocks
+// are opaque Go closures, so control flow is declared rather than
+// inferred: each Add may carry Notes (Goto/Returns/SetsResult) naming the
+// block's possible branch targets and effects. When every block of an
+// operation is annotated the verifier walks the resulting CFG; without
+// full annotation only the label-binding checks run (legacy mode), so
+// ad-hoc test operations keep working unannotated.
+//
+// The checks mirror what a compiler's IR validator would enforce:
+//
+//   - every label is bound, and bound in range (an unbound label still
+//     carries its -2 poison; a label bound after the last Add points one
+//     past the end);
+//   - no block branches out of range;
+//   - every block has an exit (a successor or a return) and every block
+//     is reachable from the entry;
+//   - R0 is written on all paths to return — the calling convention says
+//     the result is in R0 when the final block ends;
+//   - atomic regions are entered only at their first block: a branch into
+//     the middle of a programmer-defined transactional region would skip
+//     the region entry the split runtime keys on (§5.5).
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Diagnostic codes reported by the verifier.
+const (
+	DiagUnboundLabel = "unbound-label" // label never bound or bound out of range
+	DiagEmptyOp      = "empty-op"      // operation has no blocks
+	DiagOpenAtomic   = "open-atomic"   // AtomicBegin without AtomicEnd at Build
+	DiagBranchRange  = "branch-range"  // declared successor outside [0, len(blocks))
+	DiagNoExit       = "no-exit"       // block declares neither successors nor a return
+	DiagUnreachable  = "unreachable"   // block unreachable from the entry block
+	DiagR0Unwritten  = "r0-unwritten"  // a path from entry reaches return without writing R0
+	DiagAtomicEntry  = "atomic-entry"  // branch into the middle of an atomic region
+)
+
+// Diagnostic is one verifier finding.
+type Diagnostic struct {
+	Op    string // operation name
+	Block int    // block index the finding anchors to, -1 for op-level findings
+	Code  string // one of the Diag* codes
+	Msg   string
+}
+
+func (d Diagnostic) String() string {
+	if d.Block < 0 {
+		return fmt.Sprintf("%s: [%s] %s", d.Op, d.Code, d.Msg)
+	}
+	return fmt.Sprintf("%s: block %d: [%s] %s", d.Op, d.Block, d.Code, d.Msg)
+}
+
+// BlockInfo is one block's declared control flow and effects, with label
+// targets resolved to block indices. Annotated is false for blocks added
+// without Notes; an operation with any unannotated block is only checked
+// at the label level.
+type BlockInfo struct {
+	Succs      []int
+	Returns    bool
+	SetsResult bool
+	Atomic     bool
+	Annotated  bool
+}
+
+// CFG returns the operation's declared control-flow graph, one entry per
+// block. The slice is shared; treat it as read-only.
+func (o *Op) CFG() []BlockInfo { return o.cfg }
+
+// Verify runs the static checks against the builder's current state and
+// returns the findings without panicking (Build panics on the same
+// findings). name labels the diagnostics.
+func (b *Builder) Verify(name string) []Diagnostic {
+	var ds []Diagnostic
+	if len(b.blocks) == 0 {
+		ds = append(ds, Diagnostic{Op: name, Block: -1, Code: DiagEmptyOp, Msg: "operation has no blocks"})
+	}
+	if b.atomic {
+		ds = append(ds, Diagnostic{Op: name, Block: -1, Code: DiagOpenAtomic, Msg: "unclosed transactional region (AtomicBegin without AtomicEnd)"})
+	}
+	for i, l := range b.labels {
+		if *l < 0 || *l >= len(b.blocks) {
+			ds = append(ds, Diagnostic{
+				Op: name, Block: -1, Code: DiagUnboundLabel,
+				Msg: fmt.Sprintf("label %d unbound or out of range (-> %d, %d blocks)", i, *l, len(b.blocks)),
+			})
+		}
+	}
+	if len(ds) > 0 {
+		// Unresolvable labels make the CFG meaningless; stop here.
+		return ds
+	}
+	return append(ds, verifyCFG(name, b.resolveCFG(), b.attrs)...)
+}
+
+// VerifyOp re-runs the CFG checks against a built operation — the stsim
+// -lint entry point. Build already enforced these, so a clean result is
+// the expected outcome; the value is the report (block counts, coverage)
+// and catching hand-assembled Ops that bypassed the builder.
+func VerifyOp(o *Op) []Diagnostic {
+	if len(o.Blocks) == 0 {
+		return []Diagnostic{{Op: o.Name, Block: -1, Code: DiagEmptyOp, Msg: "operation has no blocks"}}
+	}
+	return verifyCFG(o.Name, o.cfg, o.attrs)
+}
+
+// Annotated reports whether every block of the operation carries control-
+// flow annotations (i.e. the full CFG checks applied at Build).
+func (o *Op) Annotated() bool {
+	if len(o.cfg) == 0 {
+		return false
+	}
+	for _, bi := range o.cfg {
+		if !bi.Annotated {
+			return false
+		}
+	}
+	return true
+}
+
+// resolveCFG materializes the per-block metadata with labels resolved.
+func (b *Builder) resolveCFG() []BlockInfo {
+	cfg := make([]BlockInfo, len(b.blocks))
+	for i := range b.blocks {
+		m := b.meta[i]
+		bi := BlockInfo{
+			Returns:    m.returns,
+			SetsResult: m.setsR0,
+			Atomic:     b.attrs[i]&AttrAtomic != 0,
+			Annotated:  m.annotated,
+		}
+		for _, l := range m.gotos {
+			bi.Succs = append(bi.Succs, *l)
+		}
+		cfg[i] = bi
+	}
+	return cfg
+}
+
+// verifyCFG runs the graph-level checks. attrs may be shorter than cfg
+// (all-zero attributes are elided); missing entries mean no flags.
+func verifyCFG(name string, cfg []BlockInfo, attrs []uint8) []Diagnostic {
+	var ds []Diagnostic
+	n := len(cfg)
+	for _, bi := range cfg {
+		if !bi.Annotated {
+			return ds // legacy mode: label checks only
+		}
+	}
+	if n == 0 {
+		return ds
+	}
+
+	atomic := func(i int) bool { return i < len(attrs) && attrs[i]&AttrAtomic != 0 }
+	// regionHead(i): block i starts an atomic region (is atomic, and its
+	// textual predecessor is not).
+	regionHead := func(i int) bool { return atomic(i) && (i == 0 || !atomic(i-1)) }
+	// sameRegion(u, v): u and v lie in one contiguous atomic run.
+	sameRegion := func(u, v int) bool {
+		if !atomic(u) || !atomic(v) {
+			return false
+		}
+		lo, hi := u, v
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		for i := lo; i <= hi; i++ {
+			if !atomic(i) {
+				return false
+			}
+		}
+		return true
+	}
+
+	for i, bi := range cfg {
+		if len(bi.Succs) == 0 && !bi.Returns {
+			ds = append(ds, Diagnostic{
+				Op: name, Block: i, Code: DiagNoExit,
+				Msg: "block declares no successors and no return",
+			})
+		}
+		for _, s := range bi.Succs {
+			if s < 0 || s >= n {
+				ds = append(ds, Diagnostic{
+					Op: name, Block: i, Code: DiagBranchRange,
+					Msg: fmt.Sprintf("branches to block %d, out of range [0, %d)", s, n),
+				})
+				continue
+			}
+			if atomic(s) && !regionHead(s) && !sameRegion(i, s) {
+				ds = append(ds, Diagnostic{
+					Op: name, Block: i, Code: DiagAtomicEntry,
+					Msg: fmt.Sprintf("branches into the middle of the atomic region at block %d", s),
+				})
+			}
+		}
+	}
+
+	// Reachability from the entry block, tracking the R0 dataflow at the
+	// same time: state "dirty" means some path reaches the block with R0
+	// still unwritten. parent reconstructs an example path for reports.
+	const (
+		unseen = iota
+		clean  // reached, R0 written on every path in
+		dirty  // reached with R0 possibly unwritten
+	)
+	state := make([]uint8, n)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	var queue []int
+	push := func(b int, st uint8, from int) {
+		if b < 0 || b >= n || state[b] >= st {
+			return
+		}
+		if state[b] == unseen {
+			parent[b] = from
+		}
+		state[b] = st
+		queue = append(queue, b)
+	}
+	push(0, dirty, -1)
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		out := state[b]
+		if cfg[b].SetsResult {
+			out = clean
+		}
+		for _, s := range cfg[b].Succs {
+			push(s, out, b)
+		}
+	}
+
+	for i, bi := range cfg {
+		if state[i] == unseen {
+			ds = append(ds, Diagnostic{
+				Op: name, Block: i, Code: DiagUnreachable,
+				Msg: "block is unreachable from the entry block",
+			})
+			continue
+		}
+		if bi.Returns && !bi.SetsResult && state[i] == dirty {
+			ds = append(ds, Diagnostic{
+				Op: name, Block: i, Code: DiagR0Unwritten,
+				Msg: fmt.Sprintf("can return with R0 never written (path %s)", pathTo(parent, i)),
+			})
+		}
+	}
+	return ds
+}
+
+// pathTo renders the entry→i example path recorded by the verifier walk.
+func pathTo(parent []int, i int) string {
+	var idx []int
+	for b := i; b >= 0; b = parent[b] {
+		idx = append(idx, b)
+		if len(idx) > len(parent) {
+			break // defensive: parent cycles cannot happen, but never loop
+		}
+	}
+	var sb strings.Builder
+	for j := len(idx) - 1; j >= 0; j-- {
+		if sb.Len() > 0 {
+			sb.WriteString("->")
+		}
+		fmt.Fprintf(&sb, "%d", idx[j])
+	}
+	return sb.String()
+}

@@ -1,0 +1,206 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+
+	"stacktrack/internal/sched"
+)
+
+// nop is a placeholder block body; the verifier only reads annotations.
+func nop(t *sched.Thread, f sched.Frame) int { return Done }
+
+func hasDiag(ds []Diagnostic, code string) bool {
+	for _, d := range ds {
+		if d.Code == code {
+			return true
+		}
+	}
+	return false
+}
+
+func TestVerifyUnboundLabelDiagnostic(t *testing.T) {
+	b := NewBuilder()
+	lb := b.Label() // never bound: keeps the -2 poison
+	b.Add(nop, Goto(lb), Returns(), SetsResult())
+	ds := b.Verify("bad")
+	if !hasDiag(ds, DiagUnboundLabel) {
+		t.Fatalf("want %s, got %v", DiagUnboundLabel, ds)
+	}
+	// The poison value must appear in the message so the report pinpoints
+	// an unbound (rather than out-of-range) label.
+	if !strings.Contains(ds[0].Msg, "-2") {
+		t.Fatalf("diagnostic should carry the poison value: %q", ds[0].Msg)
+	}
+}
+
+func TestVerifyLabelBoundPastEnd(t *testing.T) {
+	b := NewBuilder()
+	lb := b.Label()
+	b.Add(nop, Goto(lb), Returns(), SetsResult())
+	b.Bind(lb) // bound after the last Add: points one past the end
+	ds := b.Verify("bad")
+	if !hasDiag(ds, DiagUnboundLabel) {
+		t.Fatalf("want %s for label bound past the end, got %v", DiagUnboundLabel, ds)
+	}
+}
+
+func TestVerifyR0UnwrittenPath(t *testing.T) {
+	b := NewBuilder()
+	lbEnd := b.Label()
+	b.Add(nop, Goto(lbEnd))
+	b.Bind(lbEnd)
+	b.Add(nop, Returns()) // returns without SetsResult anywhere on the path
+	ds := b.Verify("bad")
+	if !hasDiag(ds, DiagR0Unwritten) {
+		t.Fatalf("want %s, got %v", DiagR0Unwritten, ds)
+	}
+	// The diagnostic carries an example path from the entry block.
+	var msg string
+	for _, d := range ds {
+		if d.Code == DiagR0Unwritten {
+			msg = d.Msg
+		}
+	}
+	if !strings.Contains(msg, "0->1") {
+		t.Fatalf("diagnostic should show the example path, got %q", msg)
+	}
+}
+
+func TestVerifyR0WrittenOnAllPaths(t *testing.T) {
+	b := NewBuilder()
+	lbA := b.Label()
+	lbB := b.Label()
+	b.Add(nop, Goto(lbA, lbB))
+	b.Bind(lbA)
+	b.Add(nop, Returns(), SetsResult())
+	b.Bind(lbB)
+	b.Add(nop, Goto(lbA), SetsResult())
+	if ds := b.Verify("good"); len(ds) != 0 {
+		t.Fatalf("diamond with R0 written on every return: %v", ds)
+	}
+}
+
+func TestVerifyBranchRange(t *testing.T) {
+	b := NewBuilder()
+	lb := b.Label()
+	b.Bind(lb)
+	b.Add(nop, Goto(lb), Returns(), SetsResult())
+	// Force the label out of range by hand (Bind cannot produce this, but a
+	// caller scribbling on the *int can).
+	*lb = 7
+	ds := b.Verify("bad")
+	if !hasDiag(ds, DiagUnboundLabel) {
+		t.Fatalf("want %s for label forced out of range, got %v", DiagUnboundLabel, ds)
+	}
+}
+
+func TestVerifyNoExit(t *testing.T) {
+	b := NewBuilder()
+	b.Add(nop, SetsResult()) // annotated, but neither Goto nor Returns
+	ds := b.Verify("bad")
+	if !hasDiag(ds, DiagNoExit) {
+		t.Fatalf("want %s, got %v", DiagNoExit, ds)
+	}
+}
+
+func TestVerifyUnreachable(t *testing.T) {
+	b := NewBuilder()
+	b.Add(nop, Returns(), SetsResult())
+	b.Add(nop, Returns(), SetsResult()) // nothing branches here
+	ds := b.Verify("bad")
+	if !hasDiag(ds, DiagUnreachable) {
+		t.Fatalf("want %s, got %v", DiagUnreachable, ds)
+	}
+}
+
+func TestVerifyAtomicEntry(t *testing.T) {
+	b := NewBuilder()
+	lbMid := b.Label()
+	b.Add(nop, Goto(lbMid), Returns(), SetsResult())
+	b.AtomicBegin()
+	b.Add(nop, Returns(), SetsResult()) // region head
+	b.Bind(lbMid)
+	b.Add(nop, Returns(), SetsResult()) // region middle: the bad target
+	b.AtomicEnd()
+	ds := b.Verify("bad")
+	if !hasDiag(ds, DiagAtomicEntry) {
+		t.Fatalf("want %s for a branch into a region middle, got %v", DiagAtomicEntry, ds)
+	}
+	if !hasDiag(ds, DiagUnreachable) {
+		t.Fatalf("the skipped region head should also be unreachable, got %v", ds)
+	}
+}
+
+func TestVerifyAtomicRegionInternalBranchOK(t *testing.T) {
+	b := NewBuilder()
+	lbIn := b.Label()
+	lbHead := b.Label()
+	b.Add(nop, Goto(lbHead))
+	b.AtomicBegin()
+	b.Bind(lbHead)
+	b.Add(nop, Goto(lbIn))
+	b.Bind(lbIn)
+	b.Add(nop, Goto(lbHead), Returns(), SetsResult()) // loop within the region
+	b.AtomicEnd()
+	if ds := b.Verify("good"); len(ds) != 0 {
+		t.Fatalf("branches within one atomic region are fine: %v", ds)
+	}
+}
+
+func TestVerifyLegacyUnannotatedSkipsCFGChecks(t *testing.T) {
+	b := NewBuilder()
+	lbEnd := b.Label()
+	b.Add(nop) // no Notes: legacy mode
+	b.Bind(lbEnd)
+	b.Add(nop)
+	if ds := b.Verify("legacy"); len(ds) != 0 {
+		t.Fatalf("unannotated ops keep label-only checking: %v", ds)
+	}
+}
+
+func TestBuildPanicsOnR0Unwritten(t *testing.T) {
+	b := NewBuilder()
+	b.Add(nop, Returns())
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Build should panic on a failing verification")
+		}
+		if !strings.Contains(r.(string), DiagR0Unwritten) {
+			t.Fatalf("panic should name the diagnostic code: %v", r)
+		}
+	}()
+	b.Build(0, "bad", 0)
+}
+
+func TestVerifyOpCleanAndCFGExposed(t *testing.T) {
+	op := addOp()
+	// addOp is unannotated; VerifyOp stays clean in legacy mode.
+	if ds := VerifyOp(op); len(ds) != 0 {
+		t.Fatalf("legacy op: %v", ds)
+	}
+	if op.Annotated() {
+		t.Fatal("addOp has no Notes; Annotated must be false")
+	}
+
+	b := NewBuilder()
+	lbEnd := b.Label()
+	b.Add(nop, Goto(lbEnd))
+	b.Bind(lbEnd)
+	b.Add(nop, Returns(), SetsResult())
+	op2 := b.Build(1, "two", 0)
+	if !op2.Annotated() {
+		t.Fatal("fully annotated op should report Annotated")
+	}
+	if ds := VerifyOp(op2); len(ds) != 0 {
+		t.Fatalf("built op must re-verify clean: %v", ds)
+	}
+	cfg := op2.CFG()
+	if len(cfg) != 2 || len(cfg[0].Succs) != 1 || cfg[0].Succs[0] != 1 {
+		t.Fatalf("CFG should resolve labels to indices: %+v", cfg)
+	}
+	if !cfg[1].Returns || !cfg[1].SetsResult {
+		t.Fatalf("effects should survive into BlockInfo: %+v", cfg[1])
+	}
+}

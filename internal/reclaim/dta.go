@@ -130,6 +130,10 @@ func (d *DTA) sweep(t *sched.Thread) {
 			continue
 		}
 		t.Charge(cost.Load) // reading u's published op-start stamp
+		// The stamp is published by u's BeginOp/EndOp activity store;
+		// reading it acquires that release (the stamp itself lives
+		// host-side, so the edge is declared rather than observed).
+		t.M.NoteSync(t.ID, u.ActivityAddr(), true, false)
 		if d.inOp[u.ID] && d.opStart[u.ID] < horizon {
 			horizon = d.opStart[u.ID]
 		}

@@ -126,6 +126,8 @@ func (rc *RefCount) Protect(t *sched.Thread, slot int, node word.Addr) {
 // the node a zombie to be freed by its last release.
 func (rc *RefCount) Retire(t *sched.Thread, p word.Addr) {
 	if rc.counts[p] == 0 {
+		// Reading the zero count acquires every prior holder's release.
+		t.M.NoteSync(t.ID, p, true, false)
 		t.FreeNow(p)
 		return
 	}
@@ -147,15 +149,19 @@ func (rc *RefCount) Drain(t *sched.Thread) {
 // Pending returns the number of retired-but-unfreed zombies.
 func (rc *RefCount) Pending() int { return len(rc.zombie) }
 
-// inc charges and applies a count increment.
+// inc charges and applies a count increment. The count RMW is a real
+// synchronization instruction in this family; NoteSync credits its
+// happens-before edge to any attached analysis (no simulated effect).
 func (rc *RefCount) inc(t *sched.Thread, p word.Addr) {
 	t.Charge(cost.AtomicAdd + cost.Miss/2) // RMW on a line other threads touch
+	t.M.NoteSync(t.ID, p, true, true)
 	rc.counts[p]++
 }
 
 // dec charges and applies a count decrement, freeing a zombie at zero.
 func (rc *RefCount) dec(t *sched.Thread, p word.Addr) {
 	t.Charge(cost.AtomicAdd + cost.Miss/2)
+	t.M.NoteSync(t.ID, p, true, true)
 	rc.counts[p]--
 	if rc.counts[p] < 0 {
 		panic(fmt.Sprintf("reclaim: negative refcount for %#x", uint64(p)))

@@ -1,0 +1,114 @@
+package sanitize
+
+import (
+	"fmt"
+	"strings"
+
+	"stacktrack/internal/cost"
+	"stacktrack/internal/word"
+)
+
+// ReportCap bounds how many distinct reports of each kind are retained.
+// Totals keep counting past the cap.
+const ReportCap = 64
+
+// Site identifies one simulated access for reporting purposes: which
+// thread performed it, inside which operation and basic block, and at
+// what virtual time. Clock is the thread's own vector-clock component at
+// the access, which lets a reader line two sites up on the same lane.
+type Site struct {
+	TID   int
+	Op    string // operation name; "" when outside any operation (setup, drain)
+	Block int    // basic-block index within Op, -1 when unknown
+	VTime cost.Cycles
+	Clock uint32
+}
+
+func (s Site) String() string {
+	op := s.Op
+	if op == "" {
+		op = "(setup)"
+	}
+	return fmt.Sprintf("thread %d in %s block %d vtime %d clock %d", s.TID, op, s.Block, s.VTime, s.Clock)
+}
+
+// RaceReport is one pair of conflicting accesses to the same simulated
+// heap word with no happens-before edge between them. The reporting
+// access is always a plain store; the prior access is the unordered
+// write or read it conflicts with.
+type RaceReport struct {
+	Addr   word.Addr
+	Kind   string // "write-write" or "write-after-read"
+	Access Site   // the later (reporting) store
+	Prior  Site   // the unordered earlier access
+}
+
+func (r RaceReport) String() string {
+	prior := "write"
+	if r.Kind == "write-after-read" {
+		prior = "read"
+	}
+	return fmt.Sprintf("DATA RACE [%s] on word %#x\n    store by %s\n    unordered %s by %s",
+		r.Kind, uint64(r.Addr), r.Access, prior, r.Prior)
+}
+
+// AccessReport is one shadow-state violation: an access to freed memory
+// (use-after-free), to a redzone word past an object's requested size,
+// or to a heap word that was never allocated (wild).
+type AccessReport struct {
+	Addr   word.Addr
+	State  string // "freed", "redzone", or "wild"
+	Write  bool
+	Object word.Addr // base of the containing slab object, 0 when unknown
+	Use    Site
+	Alloc  *Site // allocation provenance, nil when unknown (e.g. after restore)
+	Free   *Site // free provenance, nil when the object was never freed
+}
+
+func (r AccessReport) String() string {
+	kind := map[string]string{"freed": "USE-AFTER-FREE", "redzone": "REDZONE-ACCESS", "wild": "WILD-ACCESS"}[r.State]
+	rw := "read"
+	if r.Write {
+		rw = "write"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s [%s] on word %#x (object %#x)\n    use   by %s", kind, rw, uint64(r.Addr), uint64(r.Object), r.Use)
+	if r.Alloc != nil {
+		fmt.Fprintf(&b, "\n    alloc by %s", *r.Alloc)
+	}
+	if r.Free != nil {
+		fmt.Fprintf(&b, "\n    free  by %s", *r.Free)
+	}
+	return b.String()
+}
+
+// Summary is the sanitizer's end-of-run report bundle. Totals count every
+// occurrence; the report slices are deduplicated by site pair and capped
+// at ReportCap entries each, in order of first occurrence.
+type Summary struct {
+	DataRaces   uint64
+	UAFAccesses uint64
+	Redzone     uint64
+	Wild        uint64
+
+	Races    []RaceReport
+	Accesses []AccessReport
+}
+
+// Clean reports whether the sanitizer observed no violations at all.
+func (s *Summary) Clean() bool {
+	return s.DataRaces == 0 && s.UAFAccesses == 0 && s.Redzone == 0 && s.Wild == 0
+}
+
+func (s *Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sanitizer: %d data race(s), %d use-after-free, %d redzone, %d wild access(es)",
+		s.DataRaces, s.UAFAccesses, s.Redzone, s.Wild)
+	for _, r := range s.Races {
+		fmt.Fprintf(&b, "\n  %s", r)
+	}
+	for _, r := range s.Accesses {
+		fmt.Fprintf(&b, "\n  %s", r)
+	}
+	return b.String()
+}

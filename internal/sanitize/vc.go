@@ -1,0 +1,31 @@
+package sanitize
+
+// vclock is a fixed-width vector clock, one component per simulated thread.
+// Component t advances when thread t performs a release (a plain store, a
+// successful RMW, a transactional commit, or a context-switch hand-off).
+type vclock []uint32
+
+// newVC returns a fresh clock for thread own. The thread's own component
+// starts at 1 so that an access in the initial epoch is distinguishable
+// from "never synchronized" (an all-zero remote view).
+func newVC(n, own int) vclock {
+	v := make(vclock, n)
+	v[own] = 1
+	return v
+}
+
+// join folds o into v componentwise (v := v ⊔ o).
+func (v vclock) join(o vclock) {
+	for i, c := range o {
+		if c > v[i] {
+			v[i] = c
+		}
+	}
+}
+
+// clone returns an independent copy.
+func (v vclock) clone() vclock {
+	out := make(vclock, len(v))
+	copy(out, v)
+	return out
+}

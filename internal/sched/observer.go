@@ -1,0 +1,21 @@
+package sched
+
+// Observer receives scheduler lifecycle notifications for dynamic
+// analysis. Observation only: implementations must not change simulated
+// state.
+type Observer interface {
+	// ThreadHandoff fires when thread out is switched off its hardware
+	// context (preempted, or retired on completion) and thread in becomes
+	// the occupant. in is -1 when the context empties. A hand-off is a
+	// happens-before edge: the OS scheduler's own synchronization orders
+	// everything out did before the switch ahead of everything in does
+	// after it on the same hardware context.
+	ThreadHandoff(out, in int)
+	// ThreadCrash fires when thread tid is killed mid-run. A crashed
+	// thread establishes no further edges; its last accesses are
+	// deliberately left unordered with respect to every survivor.
+	ThreadCrash(tid int)
+}
+
+// SetObserver installs o (nil detaches).
+func (s *Scheduler) SetObserver(o Observer) { s.obs = o }

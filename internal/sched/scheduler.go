@@ -86,6 +86,8 @@ type Scheduler struct {
 	ctrSwitches *metrics.Counter
 	ctrPolls    *metrics.Counter
 	ctrCrashes  *metrics.Counter
+
+	obs Observer
 }
 
 // NewScheduler creates a scheduler over m with the given topology and
@@ -238,6 +240,9 @@ func (s *Scheduler) Crash(tid int) {
 	s.M.AbortTx(tid, mem.Preempt)
 	t.crashed = true
 	s.ctrCrashes.Inc(tid)
+	if s.obs != nil {
+		s.obs.ThreadCrash(tid)
+	}
 	ctx := s.contexts[t.hw]
 	for i, q := range ctx.queue {
 		if q == t {
@@ -434,6 +439,9 @@ func (s *Scheduler) rotate(ctx *hwContext, until cost.Cycles) {
 	copy(ctx.queue, ctx.queue[1:])
 	ctx.queue[len(ctx.queue)-1] = out
 	s.switchIn(ctx, until)
+	if s.obs != nil {
+		s.obs.ThreadHandoff(out.ID, s.OccupantID(ctx.id))
+	}
 }
 
 // retireFromContext removes a finished occupant and switches in the next.
@@ -443,6 +451,9 @@ func (s *Scheduler) retireFromContext(ctx *hwContext, until cost.Cycles) {
 	ctx.clock = maxCycles(ctx.clock, out.vtime)
 	ctx.queue = ctx.queue[1:]
 	s.switchIn(ctx, until)
+	if s.obs != nil {
+		s.obs.ThreadHandoff(out.ID, s.OccupantID(ctx.id))
+	}
 }
 
 func (s *Scheduler) switchIn(ctx *hwContext, until cost.Cycles) {

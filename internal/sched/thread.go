@@ -137,6 +137,13 @@ type Thread struct {
 
 	txAllocs []word.Addr
 
+	// CurOp and CurBlock name the operation and basic block the thread is
+	// currently executing, for diagnostic reports (the sanitizer's access
+	// sites). Maintained by the runners; purely observational — never read
+	// by simulation logic and not part of snapshot state.
+	CurOp    string
+	CurBlock int
+
 	// Stats.
 	OpsDone   uint64
 	UAFReads  uint64 // poison values observed by loads (validation mode)

@@ -1,0 +1,33 @@
+#!/bin/sh
+# Repo lint gate: formatting, go vet, the custom analyzers (cmd/stlint),
+# and the static prog-IR verifier (stsim -lint).
+#
+# The custom analyzers are run through cmd/stlint, a standalone binary
+# built on go/ast alone, rather than through `go vet -vettool=...`: the
+# vettool protocol requires golang.org/x/tools/go/analysis, and this repo
+# is deliberately dependency-free (no module cache in the build image).
+# stlint walks the same source tree and fails the same way, so the gate
+# is equivalent; if x/tools ever becomes available, each analyzer's Run
+# function ports directly onto analysis.Pass.
+set -e
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== stlint (statesem, simclock, metrichandle) =="
+go run ./cmd/stlint -root .
+
+echo "== stsim -lint (prog-IR verifier) =="
+go run ./cmd/stsim -lint
+
+echo "lint: all clean"
