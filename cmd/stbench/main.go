@@ -19,8 +19,15 @@
 //
 // The simulator is deterministic, so -compare demands exact counter
 // equality by default (-counter-tol relaxes it); throughput and derived
-// rates are allowed -tol relative drift (default 10%). Exit status: 1 on
-// regression, 2 on usage errors (unknown experiment, bad flags).
+// rates are allowed -tol relative drift (default 10%).
+//
+// SIGINT/SIGTERM cancel cooperatively: the running sweep stops at the
+// next scheduling-decision boundary, completed experiments (and the
+// interrupted experiment's completed points) are still flushed to -json,
+// and the exit status distinguishes the interruption.
+//
+// Exit status: 1 on regression, 2 on usage errors (unknown experiment,
+// bad flags), 130 when interrupted.
 package main
 
 import (
@@ -31,6 +38,7 @@ import (
 	"strings"
 
 	"stacktrack/internal/bench"
+	"stacktrack/internal/cli"
 )
 
 func main() {
@@ -54,19 +62,19 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, e := range bench.Experiments {
-			if e.Alias != "" {
-				fmt.Printf("%-22s %-4s %s\n", e.Name, e.ID, e.Alias)
-			} else {
-				fmt.Printf("%-22s %s\n", e.Name, e.ID)
-			}
+		for _, line := range bench.ExperimentInventory() {
+			fmt.Println(line)
 		}
 		return
 	}
 
-	opts := bench.Options{}
+	ctx, cancel := cli.SignalContext()
+	defer cancel()
+
+	opts := bench.Options{Ctx: ctx}
 	if *quick {
 		opts = bench.QuickOptions()
+		opts.Ctx = ctx
 	}
 	if *measureMs > 0 {
 		opts.MeasureMs = *measureMs
@@ -82,7 +90,7 @@ func main() {
 			n, err := strconv.Atoi(strings.TrimSpace(part))
 			if err != nil || n <= 0 {
 				fmt.Fprintf(os.Stderr, "stbench: bad thread count %q\n", part)
-				os.Exit(2)
+				os.Exit(cli.ExitUsage)
 			}
 			opts.Threads = append(opts.Threads, n)
 		}
@@ -111,8 +119,18 @@ func main() {
 		for _, w := range want {
 			e := bench.FindExperiment(w)
 			if e == nil {
-				fmt.Fprintf(os.Stderr, "stbench: unknown experiment %q (use -list)\n", w)
-				os.Exit(2)
+				fmt.Fprintf(os.Stderr, "stbench: unknown experiment %q\n", w)
+				if sug := bench.SuggestExperiments(w); len(sug) > 0 {
+					fmt.Fprintf(os.Stderr, "did you mean:\n")
+					for _, s := range sug {
+						fmt.Fprintf(os.Stderr, "  %s\n", s.Describe())
+					}
+				}
+				fmt.Fprintf(os.Stderr, "available experiments (name, ID, alias):\n")
+				for _, line := range bench.ExperimentInventory() {
+					fmt.Fprintf(os.Stderr, "  %s\n", line)
+				}
+				os.Exit(cli.ExitUsage)
 			}
 			exps = append(exps, e)
 		}
@@ -122,22 +140,33 @@ func main() {
 	tolerance := bench.Tolerance{Rate: *tol, Counter: *counterTol}
 	var docs []*bench.ExperimentJSON
 	var regressions []bench.Regression
+	complete := 0 // experiments that ran to the end; docs[complete:] are partial
+	interrupted := false
 	for _, e := range exps {
 		var tb *bench.Table
 		var err error
 		if needJSON {
 			var doc *bench.ExperimentJSON
 			doc, tb, err = bench.RunExperimentJSON(e, opts)
-			if err == nil {
+			if doc != nil {
+				// A cancelled sweep still hands back its completed points;
+				// they are flushed to -json but never become a baseline or
+				// a comparison subject.
 				docs = append(docs, doc)
 			}
 		} else {
 			tb, err = e.Run(opts)
 		}
 		if err != nil {
+			if cli.Interrupted(err) {
+				fmt.Fprintf(os.Stderr, "stbench: interrupted during %s; flushing partial results\n", e.Name)
+				interrupted = true
+				break
+			}
 			fmt.Fprintf(os.Stderr, "stbench: %s: %v\n", e.Name, err)
-			os.Exit(1)
+			os.Exit(cli.ExitFailure)
 		}
+		complete++
 		if *csv {
 			fmt.Printf("# %s\n", tb.Title)
 			tb.CSV(os.Stdout)
@@ -151,32 +180,26 @@ func main() {
 		doc := &bench.ResultsJSON{Schema: bench.SchemaVersion, Experiments: docs}
 		if err := bench.WriteResultsJSON(*jsonOut, doc); err != nil {
 			fmt.Fprintf(os.Stderr, "stbench: %v\n", err)
-			os.Exit(1)
+			os.Exit(cli.ExitFailure)
 		}
 	}
 	if *baseline != "" {
-		for i, e := range exps {
+		for i := 0; i < complete; i++ {
 			doc := &bench.ResultsJSON{Schema: bench.SchemaVersion, Experiments: docs[i : i+1]}
-			path := bench.BaselineFile(*baseline, e)
+			path := bench.BaselineFile(*baseline, exps[i])
 			if err := bench.WriteResultsJSON(path, doc); err != nil {
 				fmt.Fprintf(os.Stderr, "stbench: %v\n", err)
-				os.Exit(1)
+				os.Exit(cli.ExitFailure)
 			}
 			fmt.Fprintf(os.Stderr, "stbench: wrote baseline %s\n", path)
 		}
 	}
-	if *compare != "" {
-		for i, e := range exps {
-			path := bench.BaselineFile(*compare, e)
-			base, err := bench.ReadResultsJSON(path)
+	if *compare != "" && !interrupted {
+		for i := 0; i < complete; i++ {
+			ref, err := bench.LoadBaseline(*compare, exps[i])
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "stbench: %v\n", err)
-				os.Exit(1)
-			}
-			ref := findInDoc(base, e)
-			if ref == nil {
-				fmt.Fprintf(os.Stderr, "stbench: %s has no results for %s\n", path, e.Name)
-				os.Exit(1)
+				os.Exit(cli.ExitFailure)
 			}
 			regressions = append(regressions, bench.CompareExperiments(ref, docs[i], tolerance)...)
 		}
@@ -185,19 +208,14 @@ func main() {
 			for _, r := range regressions {
 				fmt.Fprintf(os.Stderr, "  %s\n", r)
 			}
-			os.Exit(1)
+			os.Exit(cli.ExitFailure)
 		}
 		fmt.Fprintf(os.Stderr, "stbench: no regressions against baselines in %s\n", *compare)
 	}
-}
-
-// findInDoc locates the experiment's entry inside a results document by ID
-// or name.
-func findInDoc(doc *bench.ResultsJSON, e *bench.Experiment) *bench.ExperimentJSON {
-	for _, x := range doc.Experiments {
-		if x.ID == e.ID || x.Name == e.Name {
-			return x
+	if interrupted {
+		if *compare != "" {
+			fmt.Fprintf(os.Stderr, "stbench: skipping -compare: the run is incomplete\n")
 		}
+		os.Exit(cli.ExitInterrupted)
 	}
-	return nil
 }

@@ -25,9 +25,13 @@
 //
 //	stfuzz -replay crash.schedule -minimize
 //
+// SIGINT/SIGTERM cancel cooperatively: the campaign stops at the next
+// run boundary, progress (-resume) is saved, and the partial summary is
+// still printed.
+//
 // Exit status: 0 when no failure was found, 1 when one was (inverted by
 // -expect-failure, for CI jobs that assert a seeded bug is caught), 2 on
-// configuration errors.
+// configuration errors, 130 when interrupted before any verdict.
 package main
 
 import (
@@ -36,6 +40,7 @@ import (
 	"os"
 	"time"
 
+	"stacktrack/internal/cli"
 	"stacktrack/internal/cost"
 	"stacktrack/internal/explore"
 	"stacktrack/internal/snap"
@@ -110,12 +115,15 @@ func main() {
 		}
 	}
 
+	ctx, cancel := cli.SignalContext()
+	defer cancel()
+
 	var res *explore.CampaignResult
 	var err error
 	if *forkHeap {
-		res, err = explore.ExploreForkHeap(cfg, *workers, explore.Budget{Wall: *budget, MaxRuns: *maxRuns}, prog)
+		res, err = explore.ExploreForkHeap(ctx, cfg, *workers, explore.Budget{Wall: *budget, MaxRuns: *maxRuns}, prog)
 	} else {
-		res, err = explore.ExploreResumable(cfg, *workers, explore.Budget{Wall: *budget, MaxRuns: *maxRuns}, prog)
+		res, err = explore.ExploreResumable(ctx, cfg, *workers, explore.Budget{Wall: *budget, MaxRuns: *maxRuns}, prog)
 	}
 	if prog != nil {
 		if serr := prog.Save(); serr != nil {
@@ -133,6 +141,13 @@ func main() {
 	fmt.Printf("stfuzz: %d runs in %.1fs (%.0f runs/s, %d workers, strategy %s, %s)\n",
 		res.Runs, res.Elapsed.Seconds(), rate, *workers, *strategy, mode)
 	if res.Failure == nil {
+		if ctx.Err() != nil {
+			// Interrupted without a verdict: completed runs (and any
+			// -resume progress) are flushed above; the exit code says the
+			// campaign did not run to completion.
+			fmt.Println("stfuzz: interrupted; campaign incomplete")
+			os.Exit(cli.ExitInterrupted)
+		}
 		fmt.Println("stfuzz: no oracle violations found")
 		report(false, *expectFail)
 		return
@@ -187,18 +202,18 @@ func finish(log *explore.Log, minimize bool, minRuns int, out, snapOut string, t
 func report(failed, expectFail bool) {
 	if expectFail {
 		if failed {
-			os.Exit(0)
+			os.Exit(cli.ExitOK)
 		}
 		fmt.Fprintln(os.Stderr, "stfuzz: expected a failure, found none")
-		os.Exit(1)
+		os.Exit(cli.ExitFailure)
 	}
 	if failed {
-		os.Exit(1)
+		os.Exit(cli.ExitFailure)
 	}
-	os.Exit(0)
+	os.Exit(cli.ExitOK)
 }
 
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "stfuzz: %v\n", err)
-	os.Exit(2)
+	os.Exit(cli.ExitUsage)
 }

@@ -1,0 +1,91 @@
+// Command stserved serves simulations over HTTP: experiment sweeps and
+// fuzz campaigns submitted as JSON jobs, executed on a bounded worker
+// pool, with results content-addressed and cached — repeated
+// submissions of the same (config, seed, schema version) are served the
+// exact bytes the first run produced, without simulating again.
+//
+//	stserved -addr :8321 -workers 4 -queue 32 -cache 256 -cache-dir /var/cache/st
+//
+// API (see internal/serve):
+//
+//	POST   /v1/jobs           submit {"experiment": "E1a", "options": {"quick": true}}
+//	                          or {"explore": {"config": {...}, "max_runs": 50}}
+//	GET    /v1/jobs/{id}      status; /result exact result bytes; /stream NDJSON
+//	DELETE /v1/jobs/{id}      cooperative cancel
+//	GET    /v1/experiments    inventory; /v1/stats counters; /v1/healthz liveness
+//
+// A full queue answers 429 with Retry-After rather than blocking.
+// SIGINT/SIGTERM shut down gracefully: the listener closes, queued and
+// running jobs drain (bounded by -drain), then the process exits.
+//
+// Exit status: 0 on clean shutdown, 1 on listen/serve failure, 2 on
+// configuration errors.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"stacktrack/internal/cli"
+	"stacktrack/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8321", "listen address")
+		workers  = flag.Int("workers", 2, "concurrent simulation workers")
+		queue    = flag.Int("queue", 16, "max queued jobs before 429")
+		cacheN   = flag.Int("cache", 256, "in-memory result cache entries (0 = off)")
+		cacheDir = flag.String("cache-dir", "", "on-disk result cache directory (empty = memory only)")
+		timeout  = flag.Duration("timeout", 0, "default per-job timeout (0 = none)")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "stserved: unexpected arguments: %v\n", flag.Args())
+		os.Exit(cli.ExitUsage)
+	}
+
+	var cache *serve.Cache
+	if *cacheN > 0 || *cacheDir != "" {
+		cache = serve.NewCache(*cacheN, *cacheDir)
+	}
+	srv := serve.NewServer(serve.PoolConfig{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		DefaultTimeout: *timeout,
+	}, cache)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, cancel := cli.SignalContext()
+	defer cancel()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "stserved: listening on %s (%d workers, queue %d)\n",
+		*addr, *workers, *queue)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "stserved: %v\n", err)
+		os.Exit(cli.ExitFailure)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "stserved: shutting down; draining jobs")
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drain)
+	defer cancelDrain()
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "stserved: http shutdown: %v\n", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "stserved: drain incomplete: %v\n", err)
+		os.Exit(cli.ExitFailure)
+	}
+	fmt.Fprintln(os.Stderr, "stserved: drained; bye")
+}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -30,6 +31,10 @@ type Options struct {
 	// the series label (scheme or variant), the thread count, and the
 	// full Result. The JSON exporter hooks in here.
 	Collect func(series string, threads int, res *Result)
+	// Ctx, if non-nil, cancels the sweep: between points always, and at
+	// scheduling-decision boundaries inside a point via RunContext. The
+	// sweep returns the context's error; points already collected stand.
+	Ctx context.Context
 }
 
 // WithDefaults fills an Options with full-figure parameters.
@@ -89,7 +94,7 @@ func throughputSweep(structure string, schemes []string, o Options) (*Table, err
 	for _, n := range o.Threads {
 		row := []string{fmt.Sprintf("%d", n)}
 		for _, s := range schemes {
-			res, err := Run(o.cfg(structure, s, n))
+			res, err := o.run(o.cfg(structure, s, n))
 			if err != nil {
 				return nil, err
 			}
@@ -160,7 +165,7 @@ func Figure2Hash(o Options) (*Table, error) {
 func listStackTrackSweep(o Options) ([]*Result, error) {
 	var out []*Result
 	for _, n := range o.Threads {
-		res, err := Run(o.cfg(StructList, SchemeStackTrack, n))
+		res, err := o.run(o.cfg(StructList, SchemeStackTrack, n))
 		if err != nil {
 			return nil, err
 		}
@@ -242,7 +247,7 @@ func Figure5SlowPath(o Options) (*Table, error) {
 		for _, pct := range pcts {
 			cfg := o.cfg(StructSkipList, SchemeStackTrack, n)
 			cfg.Core.ForceSlowPct = pct
-			res, err := Run(cfg)
+			res, err := o.run(cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -279,7 +284,7 @@ func TableScanStats(o Options) (*Table, error) {
 		for _, every := range []int{1, 10} {
 			cfg := o.cfg(StructSkipList, SchemeStackTrack, n)
 			cfg.Core.MaxFree = every
-			res, err := Run(cfg)
+			res, err := o.run(cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -322,7 +327,7 @@ func AblationScan(o Options) (*Table, error) {
 			cfg := o.cfg(StructSkipList, SchemeStackTrack, n)
 			cfg.Core.MaxFree = 64
 			cfg.Core.HashedScan = hashed
-			res, err := Run(cfg)
+			res, err := o.run(cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -358,7 +363,7 @@ func AblationPredictor(o Options) (*Table, error) {
 		for _, policy := range []string{"additive", "aimd"} {
 			cfg := o.cfg(StructList, SchemeStackTrack, n)
 			cfg.Core.Predictor = policy
-			res, err := Run(cfg)
+			res, err := o.run(cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -421,7 +426,7 @@ func ExtensionCrash(o Options) (*Table, error) {
 		for _, s := range schemes {
 			cfg := o.cfg(StructList, s, n)
 			cfg.CrashThreads = 1
-			res, err := Run(cfg)
+			res, err := o.run(cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -453,7 +458,7 @@ func ExtensionBigMachine(o Options) (*Table, error) {
 		for _, s := range schemes {
 			cfg := o.cfg(StructSkipList, s, n)
 			cfg.Topology = big
-			res, err := Run(cfg)
+			res, err := o.run(cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -506,4 +511,52 @@ func FindExperiment(name string) *Experiment {
 		}
 	}
 	return nil
+}
+
+// Describe renders one inventory line: long name, ID, optional alias.
+func (e *Experiment) Describe() string {
+	if e.Alias != "" {
+		return fmt.Sprintf("%-22s %-4s %s", e.Name, e.ID, e.Alias)
+	}
+	return fmt.Sprintf("%-22s %s", e.Name, e.ID)
+}
+
+// ExperimentInventory lists every registered experiment, one Describe
+// line each, in registration (paper) order — the `-list` output, also
+// embedded in unknown-name errors so a typo never fails bare.
+func ExperimentInventory() []string {
+	out := make([]string, len(Experiments))
+	for i := range Experiments {
+		out[i] = (&Experiments[i]).Describe()
+	}
+	return out
+}
+
+// SuggestExperiments returns the experiments whose name, ID, or alias
+// is a near miss for name: the query is a prefix or substring of the
+// identifier, or the identifier a prefix of the query (case-insensitive).
+// An exact match resolves via FindExperiment and is not a suggestion.
+func SuggestExperiments(name string) []*Experiment {
+	q := strings.ToLower(name)
+	if q == "" {
+		return nil
+	}
+	var out []*Experiment
+	for i := range Experiments {
+		e := &Experiments[i]
+		if FindExperiment(name) == e {
+			continue
+		}
+		for _, id := range []string{e.Name, e.ID, e.Alias} {
+			if id == "" {
+				continue
+			}
+			id = strings.ToLower(id)
+			if strings.Contains(id, q) || strings.HasPrefix(q, id) {
+				out = append(out, e)
+				break
+			}
+		}
+	}
+	return out
 }

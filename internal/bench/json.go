@@ -5,7 +5,9 @@ package bench
 // counter equality) plus a few derived rates (compared with tolerance).
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 
@@ -110,6 +112,13 @@ func RunExperimentJSON(e *Experiment, o Options) (*ExperimentJSON, *Table, error
 	}
 	tb, err := e.Run(o)
 	if err != nil {
+		// Cancellation is not a failed run: the points collected before
+		// the context fired are valid measurements, so hand the partial
+		// document back with the error and let the caller flush it.
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			out.Title = "(interrupted) " + e.Name
+			return out, nil, err
+		}
 		return nil, nil, err
 	}
 	out.Title = tb.Title
@@ -149,4 +158,22 @@ func BaselineFile(dir string, e *Experiment) string {
 		dir = "."
 	}
 	return fmt.Sprintf("%s/BENCH_%s.json", dir, e.ID)
+}
+
+// LoadBaseline reads the conventional baseline file for e under dir and
+// returns its entry for e. A missing file surfaces as the underlying
+// *os.PathError (errors.Is(err, fs.ErrNotExist) holds); a file that
+// parses but lacks the experiment is its own error.
+func LoadBaseline(dir string, e *Experiment) (*ExperimentJSON, error) {
+	path := BaselineFile(dir, e)
+	doc, err := ReadResultsJSON(path)
+	if err != nil {
+		return nil, err
+	}
+	for _, x := range doc.Experiments {
+		if x.ID == e.ID || x.Name == e.Name {
+			return x, nil
+		}
+	}
+	return nil, fmt.Errorf("%s: no results for experiment %s (%s)", path, e.Name, e.ID)
 }

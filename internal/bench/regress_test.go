@@ -1,0 +1,260 @@
+package bench
+
+// Edge cases of the regression gate and its baseline loading, plus the
+// content-addressing and cancellation seams the serve layer builds on.
+
+import (
+	"context"
+	"errors"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"stacktrack/internal/cost"
+	"stacktrack/internal/metrics"
+	"stacktrack/internal/sched"
+)
+
+// tinyConfig keeps single-run tests fast (0.5ms virtual measurement).
+func tinyConfig() Config {
+	return Config{
+		Structure: "list", Scheme: "epoch", Threads: 4,
+		WarmupCycles:  cost.FromSeconds(0.0002),
+		MeasureCycles: cost.FromSeconds(0.0005),
+	}
+}
+
+type stubPolicy struct{}
+
+func (stubPolicy) Pick(*sched.Scheduler, []int) int   { return 0 }
+func (stubPolicy) Preempt(*sched.Scheduler, int) bool { return false }
+
+func point(series string, threads int, tweak func(*PointJSON)) PointJSON {
+	p := PointJSON{
+		Series: series, Threads: threads,
+		Ops: 1000, Throughput: 50000,
+		Metrics: metrics.Snapshot{Counters: map[string]uint64{"core.ops_fast": 1000}},
+	}
+	if tweak != nil {
+		tweak(&p)
+	}
+	return p
+}
+
+func expDoc(points ...PointJSON) *ExperimentJSON {
+	return &ExperimentJSON{Schema: SchemaVersion, Name: "x", ID: "EX", Points: points}
+}
+
+// TestCompareZeroValuedBaseline: a counter that is zero in the baseline
+// and nonzero now (or vice versa) is a full-scale (100%) relative
+// difference, never a divide-by-zero or a silent pass; zero on both
+// sides compares clean.
+func TestCompareZeroValuedBaseline(t *testing.T) {
+	base := expDoc(point("a", 2, func(p *PointJSON) {
+		p.Metrics.Counters["mem.aborts"] = 0
+	}))
+	cur := expDoc(point("a", 2, func(p *PointJSON) {
+		p.Metrics.Counters["mem.aborts"] = 7
+	}))
+	regs := CompareExperiments(base, cur, DefaultTolerance())
+	if len(regs) != 1 || regs[0].Field != "mem.aborts" {
+		t.Fatalf("regs = %v", regs)
+	}
+	if regs[0].RelDiff != 1 {
+		t.Fatalf("zero→nonzero rel diff = %g, want 1", regs[0].RelDiff)
+	}
+
+	// The other direction too: a counter the baseline has and the
+	// current run lacks entirely (sortedKeys merges both key sets).
+	drop := expDoc(point("a", 2, nil))
+	delete(drop.Points[0].Metrics.Counters, "core.ops_fast")
+	if regs := CompareExperiments(expDoc(point("a", 2, nil)), drop, DefaultTolerance()); len(regs) != 1 {
+		t.Fatalf("dropped counter not flagged: %v", regs)
+	}
+
+	// All-zero baseline and current: clean, not NaN.
+	zero := expDoc(point("a", 2, func(p *PointJSON) {
+		p.Ops, p.Throughput = 0, 0
+		p.Metrics.Counters = map[string]uint64{}
+	}))
+	zero2 := expDoc(point("a", 2, func(p *PointJSON) {
+		p.Ops, p.Throughput = 0, 0
+		p.Metrics.Counters = map[string]uint64{}
+	}))
+	if regs := CompareExperiments(zero, zero2, Tolerance{}); len(regs) != 0 {
+		t.Fatalf("all-zero baseline reported regressions: %v", regs)
+	}
+}
+
+// TestCompareToleranceBoundary: the gate is strictly `>`, so a drift of
+// exactly the tolerance passes and one epsilon past it fails — a
+// baseline sitting right at the limit stays green until it moves.
+func TestCompareToleranceBoundary(t *testing.T) {
+	tol := Tolerance{Rate: 0.10}
+	base := expDoc(point("a", 2, nil)) // throughput 50000
+
+	// relDiff is |a−b|/max: 50000 → 45000 is exactly 0.10 of 50000.
+	at := expDoc(point("a", 2, func(p *PointJSON) { p.Throughput = 45000 }))
+	for _, r := range CompareExperiments(base, at, tol) {
+		if r.Field == "throughput" {
+			t.Fatalf("exactly-at-tolerance drift flagged: %v", r)
+		}
+	}
+
+	past := expDoc(point("a", 2, func(p *PointJSON) { p.Throughput = 44999 }))
+	found := false
+	for _, r := range CompareExperiments(base, past, tol) {
+		if r.Field == "throughput" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("past-tolerance drift not flagged")
+	}
+}
+
+// TestLoadBaselineErrors: a missing baseline file surfaces as
+// fs.ErrNotExist; a present file that lacks the experiment is its own,
+// distinguishable error.
+func TestLoadBaselineErrors(t *testing.T) {
+	dir := t.TempDir()
+	e := FindExperiment("E1a")
+
+	if _, err := LoadBaseline(dir, e); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing file: err = %v, want fs.ErrNotExist", err)
+	}
+
+	// Write a valid results file under E1a's conventional name that
+	// holds some other experiment.
+	other := &ExperimentJSON{Schema: SchemaVersion, Name: "someone-else", ID: "E9z"}
+	if err := WriteResultsJSON(BaselineFile(dir, e),
+		&ResultsJSON{Schema: SchemaVersion, Experiments: []*ExperimentJSON{other}}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadBaseline(dir, e)
+	if err == nil || errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("wrong-experiment baseline: err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "no results for experiment") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+
+	// And the happy path through the same file once the entry exists.
+	good := &ExperimentJSON{Schema: SchemaVersion, Name: e.Name, ID: e.ID}
+	if err := WriteResultsJSON(BaselineFile(dir, e),
+		&ResultsJSON{Schema: SchemaVersion, Experiments: []*ExperimentJSON{good}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBaseline(dir, e)
+	if err != nil || got.ID != e.ID {
+		t.Fatalf("LoadBaseline = %v, %v", got, err)
+	}
+	if filepath.Base(BaselineFile(dir, e)) != "BENCH_E1a.json" {
+		t.Fatalf("baseline filename drifted: %s", BaselineFile(dir, e))
+	}
+}
+
+// TestSuggestExperiments: near-misses are suggested, exact matches are
+// not (they resolve), and garbage suggests nothing.
+func TestSuggestExperiments(t *testing.T) {
+	sug := SuggestExperiments("figure1")
+	if len(sug) == 0 {
+		t.Fatal("no suggestions for \"figure1\"")
+	}
+	for _, e := range sug {
+		if !strings.HasPrefix(e.Name, "figure1") {
+			t.Fatalf("unrelated suggestion %s", e.Name)
+		}
+	}
+	if got := SuggestExperiments("E1a"); len(got) != 0 {
+		// E1a resolves exactly; suggesting it back would be noise.
+		for _, e := range got {
+			if e.ID == "E1a" {
+				t.Fatal("exact match offered as a suggestion")
+			}
+		}
+	}
+	if got := SuggestExperiments("zzzzz"); len(got) != 0 {
+		t.Fatalf("garbage query suggested %v", got)
+	}
+	if len(ExperimentInventory()) != len(Experiments) {
+		t.Fatal("inventory does not cover every experiment")
+	}
+}
+
+// TestExperimentKeyStable: the content address is a pure function of
+// the result-shaping options — host-side plumbing (progress writers,
+// collectors, contexts) never changes it, result-shaping fields do.
+func TestExperimentKeyStable(t *testing.T) {
+	e := FindExperiment("E1a")
+	o := Options{Threads: []int{2}, MeasureMs: 0.5, WarmupMs: 0.1}
+	k1, err := ExperimentKey(e, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withHost := o
+	withHost.Ctx = context.Background()
+	withHost.Collect = func(string, int, *Result) {}
+	k2, err := ExperimentKey(e, withHost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatal("host-side options changed the content address")
+	}
+	seeded := o
+	seeded.Seed = 99
+	k3, err := ExperimentKey(e, seeded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k3 == k1 {
+		t.Fatal("different seed, same content address")
+	}
+	other := FindExperiment("E1b")
+	k4, err := ExperimentKey(other, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k4 == k1 {
+		t.Fatal("different experiment, same content address")
+	}
+}
+
+// TestConfigKeyRefusesPolicies: a config carrying a custom scheduling
+// policy (code, not data) has no canonical serialization.
+func TestConfigKeyRefusesPolicies(t *testing.T) {
+	cfg := tinyConfig()
+	if _, err := ConfigKey(cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Policy = stubPolicy{}
+	if _, err := ConfigKey(cfg); err == nil {
+		t.Fatal("policy config got a content key")
+	}
+}
+
+// TestRunContextCancels: a cancelled context stops a run at a decision
+// boundary mid-flight, and an already-cancelled context never starts.
+func TestRunContextCancels(t *testing.T) {
+	cfg := tinyConfig()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled run: err = %v", err)
+	}
+	// And that an un-cancelled context is bit-identical to a plain Run.
+	a, err := RunContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Ops != b.Ops || a.Throughput != b.Throughput {
+		t.Fatalf("RunContext diverged from Run: %d/%g vs %d/%g",
+			a.Ops, a.Throughput, b.Ops, b.Throughput)
+	}
+}

@@ -20,6 +20,7 @@ package explore
 // resumes where it left off instead of restarting.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -210,20 +211,23 @@ func (p *SeedProgress) saveLocked() error {
 // Explore fans workers host goroutines out over seeds cfg.Seed,
 // cfg.Seed+1, ... — each run records its schedule, so the returned failure
 // is immediately replayable and minimizable. workers <= 0 uses GOMAXPROCS.
-func Explore(cfg RunConfig, workers int, budget Budget) (*CampaignResult, error) {
-	return ExploreResumable(cfg, workers, budget, nil)
+// Cancelling ctx stops the campaign at the next run boundary: completed
+// runs stand, the interrupted run is discarded, and the campaign returns
+// normally (callers that care distinguish via ctx.Err()).
+func Explore(ctx context.Context, cfg RunConfig, workers int, budget Budget) (*CampaignResult, error) {
+	return ExploreResumable(ctx, cfg, workers, budget, nil)
 }
 
 // ExploreResumable is Explore with optional progress persistence: already-
 // completed seeds are skipped and completions are recorded as they land.
-func ExploreResumable(cfg RunConfig, workers int, budget Budget, prog *SeedProgress) (*CampaignResult, error) {
+func ExploreResumable(ctx context.Context, cfg RunConfig, workers int, budget Budget, prog *SeedProgress) (*CampaignResult, error) {
 	cfg = cfg.WithDefaults()
 	// Validate the configuration once, up front, so workers can treat
 	// errors as fatal bugs instead of racing to report them.
 	if _, err := NewStrategy(cfg); err != nil {
 		return nil, err
 	}
-	return campaign(workers, budget, cfg.Seed, prog, func(seed uint64) (*Outcome, error) {
+	return campaign(ctx, workers, budget, cfg.Seed, prog, func(seed uint64) (*Outcome, error) {
 		c := cfg
 		c.Seed = seed
 		c.StratSeed = 0 // re-derive per seed
@@ -237,7 +241,7 @@ func ExploreResumable(cfg RunConfig, workers int, budget Budget, prog *SeedProgr
 // that snapshot with a fresh strategy seed (cfg.StratSeed, +1, ...).
 // Because the shared prefix follows the default rule, it contributes no
 // deviations — every recorded artifact still replays from scratch.
-func ExploreForkHeap(cfg RunConfig, workers int, budget Budget, prog *SeedProgress) (*CampaignResult, error) {
+func ExploreForkHeap(ctx context.Context, cfg RunConfig, workers int, budget Budget, prog *SeedProgress) (*CampaignResult, error) {
 	cfg = cfg.WithDefaults()
 	if _, err := NewStrategy(cfg); err != nil {
 		return nil, err
@@ -255,7 +259,7 @@ func ExploreForkHeap(cfg RunConfig, workers int, budget Budget, prog *SeedProgre
 		return nil, err
 	}
 	n0 := base.Decisions()
-	return campaign(workers, budget, cfg.StratSeed, prog, func(seed uint64) (*Outcome, error) {
+	return campaign(ctx, workers, budget, cfg.StratSeed, prog, func(seed uint64) (*Outcome, error) {
 		c := cfg
 		c.StratSeed = seed
 		return recordForked(c, base, n0)
@@ -297,9 +301,13 @@ func recordForked(cfg RunConfig, base *snap.State, n0 uint64) (*Outcome, error) 
 }
 
 // campaign is the shared worker-pool core: claim a seed, run it, report
-// the lowest failing seed.
-func campaign(workers int, budget Budget, first uint64, prog *SeedProgress,
+// the lowest failing seed. A done context stops workers at the next run
+// boundary, exactly like an expired wall-clock budget.
+func campaign(ctx context.Context, workers int, budget Budget, first uint64, prog *SeedProgress,
 	run func(seed uint64) (*Outcome, error)) (*CampaignResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -331,6 +339,9 @@ func campaign(workers int, budget Budget, first uint64, prog *SeedProgress,
 		go func() {
 			defer wg.Done()
 			for !stop.Load() {
+				if ctx.Err() != nil {
+					return
+				}
 				if !deadline.IsZero() && time.Now().After(deadline) {
 					return
 				}

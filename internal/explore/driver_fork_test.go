@@ -5,6 +5,7 @@ package explore
 // progress files that actually skip completed work.
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -16,7 +17,7 @@ import (
 // under the default rule, so the log must reproduce without the snapshot.
 func TestExploreForkHeapFindsReplayableFailure(t *testing.T) {
 	cfg := raceCfg("list", StrategyRandom, 6)
-	res, err := ExploreForkHeap(cfg, 1, Budget{MaxRuns: 64}, nil)
+	res, err := ExploreForkHeap(context.Background(), cfg, 1, Budget{MaxRuns: 64}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func TestExploreForkHeapFindsReplayableFailure(t *testing.T) {
 // path against a safe scheme: no failures, budget respected.
 func TestExploreForkHeapMatchesPlainOnSafeScheme(t *testing.T) {
 	cfg := tinyCfg("list", "stacktrack", StrategyRandom, 1)
-	res, err := ExploreForkHeap(cfg, 2, Budget{MaxRuns: 8}, nil)
+	res, err := ExploreForkHeap(context.Background(), cfg, 2, Budget{MaxRuns: 8}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestSeedProgressResume(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ExploreResumable(cfg, 1, Budget{MaxRuns: 5}, prog); err != nil {
+	if _, err := ExploreResumable(context.Background(), cfg, 1, Budget{MaxRuns: 5}, prog); err != nil {
 		t.Fatal(err)
 	}
 	if err := prog.Save(); err != nil {

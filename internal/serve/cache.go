@@ -1,0 +1,155 @@
+package serve
+
+// Content-addressed result cache. The simulator is a deterministic
+// function of (config, seed, schema version), so a canonical hash of
+// that triple (internal/bench's CanonicalKey family) fully addresses a
+// result document: repeated submissions are served the exact bytes the
+// first run produced. Two tiers: a bounded in-memory LRU for the hot
+// set, and an optional on-disk store (one file per key, atomic
+// write-then-rename) that survives restarts.
+
+import (
+	"container/list"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Cache is a two-tier (memory LRU + optional disk) byte store keyed by
+// content address. Safe for concurrent use.
+type Cache struct {
+	mu      sync.Mutex
+	max     int // max in-memory entries; <= 0 disables the memory tier
+	lru     *list.List
+	entries map[string]*list.Element
+	dir     string // disk tier root; "" disables it
+
+	hits, misses, diskHits, evictions, diskErrors uint64
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+// CacheStats is a point-in-time snapshot of the cache counters.
+type CacheStats struct {
+	Entries   int    `json:"entries"`
+	MaxSize   int    `json:"max_size"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	DiskHits  uint64 `json:"disk_hits"`
+	Evictions uint64 `json:"evictions"`
+	// DiskErrors counts best-effort disk-tier failures (the cache keeps
+	// serving from memory; a broken disk store never fails a job).
+	DiskErrors uint64 `json:"disk_errors,omitempty"`
+	Disk       bool   `json:"disk"`
+}
+
+// NewCache builds a cache holding up to maxEntries results in memory,
+// mirrored to dir when dir is non-empty (created on first Put).
+func NewCache(maxEntries int, dir string) *Cache {
+	return &Cache{
+		max:     maxEntries,
+		lru:     list.New(),
+		entries: make(map[string]*list.Element),
+		dir:     dir,
+	}
+}
+
+// path maps a key to its disk file. Keys are hex digests, so they are
+// path-safe by construction; anything else is rejected defensively.
+func (c *Cache) path(key string) string {
+	if strings.ContainsAny(key, "/\\.") {
+		return ""
+	}
+	return filepath.Join(c.dir, key+".json")
+}
+
+// Get returns the cached bytes for key. Memory first; on a miss the
+// disk tier is consulted and a hit promoted back into memory. The
+// returned slice must not be mutated (it is shared with the cache).
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).val, true
+	}
+	if c.dir != "" {
+		if p := c.path(key); p != "" {
+			if b, err := os.ReadFile(p); err == nil {
+				c.hits++
+				c.diskHits++
+				c.putLocked(key, b)
+				return b, true
+			}
+		}
+	}
+	c.misses++
+	return nil, false
+}
+
+// Put stores val under key in both tiers. The memory tier evicts least-
+// recently-used entries beyond the size bound; the disk tier is
+// best-effort (an I/O failure is counted, not surfaced).
+func (c *Cache) Put(key string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.putLocked(key, val)
+	if c.dir == "" {
+		return
+	}
+	p := c.path(key)
+	if p == "" {
+		return
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		c.diskErrors++
+		return
+	}
+	tmp := p + ".tmp"
+	if err := os.WriteFile(tmp, val, 0o644); err != nil {
+		c.diskErrors++
+		return
+	}
+	if err := os.Rename(tmp, p); err != nil {
+		c.diskErrors++
+	}
+}
+
+func (c *Cache) putLocked(key string, val []byte) {
+	if c.max <= 0 {
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, val: val})
+	for c.lru.Len() > c.max {
+		last := c.lru.Back()
+		c.lru.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:    c.lru.Len(),
+		MaxSize:    c.max,
+		Hits:       c.hits,
+		Misses:     c.misses,
+		DiskHits:   c.diskHits,
+		Evictions:  c.evictions,
+		DiskErrors: c.diskErrors,
+		Disk:       c.dir != "",
+	}
+}

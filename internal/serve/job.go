@@ -1,0 +1,286 @@
+package serve
+
+// Job lifecycle. A job is one unit of simulation work — an experiment
+// sweep or a fuzz campaign — moving queued → running → one of
+// {done, failed, cancelled}. Every state change and progress line is an
+// event, broadcast to any number of NDJSON stream followers.
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"time"
+
+	"stacktrack/internal/explore"
+)
+
+// Job kinds accepted by JobRequest.Kind.
+const (
+	KindExperiment = "experiment"
+	KindExplore    = "explore"
+)
+
+// Job statuses.
+const (
+	StatusQueued    = "queued"
+	StatusRunning   = "running"
+	StatusDone      = "done"
+	StatusFailed    = "failed"
+	StatusCancelled = "cancelled"
+)
+
+// JobRequest is the POST /v1/jobs body.
+type JobRequest struct {
+	// Kind selects the work: "experiment" (default when Experiment is
+	// set) or "explore".
+	Kind string `json:"kind,omitempty"`
+
+	// Experiment names a registered experiment (long name, ID, or
+	// alias — bench.FindExperiment's resolution rules).
+	Experiment string        `json:"experiment,omitempty"`
+	Options    *SweepOptions `json:"options,omitempty"`
+
+	// Explore describes a fuzz campaign.
+	Explore *ExploreSpec `json:"explore,omitempty"`
+
+	// TimeoutMs overrides the server's default per-job timeout
+	// (0 = server default; negative = no timeout).
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+
+	// NoCache forces a recompute: the cache is neither consulted nor
+	// (for this submission) deduplicated against in-flight work.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// SweepOptions is the JSON shape of bench.Options: the sweep parameters
+// that change the result document. Host-side plumbing (progress,
+// collectors, contexts) is the server's business, not the client's.
+type SweepOptions struct {
+	Threads   []int   `json:"threads,omitempty"`
+	MeasureMs float64 `json:"measure_ms,omitempty"`
+	WarmupMs  float64 `json:"warmup_ms,omitempty"`
+	Seed      uint64  `json:"seed,omitempty"`
+	// Quick selects the reduced test sweep as the base (bench.QuickOptions).
+	Quick    bool `json:"quick,omitempty"`
+	Profile  bool `json:"profile,omitempty"`
+	Sanitize bool `json:"sanitize,omitempty"`
+}
+
+// ExploreSpec is the JSON shape of one fuzz campaign: the run
+// configuration plus the host-side budget. A campaign is content-
+// addressable only when it is deterministic — single worker, a MaxRuns
+// budget, and no wall-clock bound; anything else recomputes every time.
+type ExploreSpec struct {
+	Config  explore.RunConfig `json:"config"`
+	Workers int               `json:"workers,omitempty"`
+	MaxRuns int               `json:"max_runs,omitempty"`
+	WallMs  int64             `json:"wall_ms,omitempty"`
+}
+
+// deterministic reports whether the campaign's outcome is a pure
+// function of the spec (see ExploreSpec).
+func (sp *ExploreSpec) deterministic() bool {
+	return sp.Workers <= 1 && sp.MaxRuns > 0 && sp.WallMs == 0
+}
+
+// Event is one NDJSON stream line.
+type Event struct {
+	Seq   int    `json:"seq"`
+	Event string `json:"event"`          // queued|started|progress|done|failed|cancelled
+	Line  string `json:"line,omitempty"` // progress payload
+}
+
+// Job is one tracked unit of work.
+type Job struct {
+	ID  string `json:"id"`
+	Key string `json:"key,omitempty"` // content address; "" when uncacheable
+
+	req    JobRequest
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	status   string
+	errMsg   string
+	cached   bool // result served from cache, no simulation ran
+	result   []byte
+	events   []Event
+	notify   chan struct{} // closed and replaced on every append/state change
+	done     chan struct{} // closed on terminal state
+	created  time.Time
+	finished time.Time
+}
+
+// JobView is the JSON representation of a job's current state.
+type JobView struct {
+	ID     string `json:"id"`
+	Kind   string `json:"kind"`
+	Status string `json:"status"`
+	Key    string `json:"key,omitempty"`
+	Cached bool   `json:"cached"`
+	Error  string `json:"error,omitempty"`
+	Events int    `json:"events"`
+	// HasResult tells the client GET /v1/jobs/{id}/result will serve.
+	HasResult bool `json:"has_result"`
+}
+
+func newJob(id, key string, req JobRequest, ctx context.Context, cancel context.CancelFunc) *Job {
+	j := &Job{
+		ID: id, Key: key, req: req,
+		ctx: ctx, cancel: cancel,
+		status:  StatusQueued,
+		notify:  make(chan struct{}),
+		done:    make(chan struct{}),
+		created: time.Now(),
+	}
+	j.appendEventLocked(StatusQueued, "")
+	return j
+}
+
+// kind resolves the request's effective kind.
+func (r JobRequest) kind() string {
+	if r.Kind != "" {
+		return r.Kind
+	}
+	if r.Explore != nil {
+		return KindExplore
+	}
+	return KindExperiment
+}
+
+// View snapshots the job for JSON rendering.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobView{
+		ID:        j.ID,
+		Kind:      j.req.kind(),
+		Status:    j.status,
+		Key:       j.Key,
+		Cached:    j.cached,
+		Error:     j.errMsg,
+		Events:    len(j.events),
+		HasResult: j.result != nil,
+	}
+}
+
+// Status returns the job's current status string.
+func (j *Job) Status() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// Result returns the job's result bytes, or nil while unfinished.
+func (j *Job) Result() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
+}
+
+// Done exposes the terminal-state channel (closed once the job reaches
+// done/failed/cancelled).
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Cancel requests cooperative cancellation; a queued job is skipped, a
+// running simulation stops at its next decision boundary. No-op on
+// finished jobs.
+func (j *Job) Cancel() { j.cancel() }
+
+// appendEventLocked requires j.mu held.
+func (j *Job) appendEventLocked(event, line string) {
+	j.events = append(j.events, Event{Seq: len(j.events), Event: event, Line: line})
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+// progress appends a progress event.
+func (j *Job) progress(line string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != StatusRunning {
+		return
+	}
+	j.appendEventLocked("progress", line)
+}
+
+// setRunning transitions queued → running; reports false if the job is
+// already past it (e.g. cancelled while queued).
+func (j *Job) setRunning() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != StatusQueued {
+		return false
+	}
+	j.status = StatusRunning
+	j.appendEventLocked("started", "")
+	return true
+}
+
+// finishLocked moves the job to a terminal state; j.mu held.
+func (j *Job) finishLocked(status, errMsg string) {
+	if j.status == StatusDone || j.status == StatusFailed || j.status == StatusCancelled {
+		return
+	}
+	j.status = status
+	j.errMsg = errMsg
+	j.finished = time.Now()
+	j.appendEventLocked(status, errMsg)
+	close(j.done)
+}
+
+// complete marks the job done with its result bytes; cached says the
+// bytes came from the cache rather than a fresh simulation.
+func (j *Job) complete(result []byte, cached bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.result = result
+	j.cached = cached
+	j.finishLocked(StatusDone, "")
+}
+
+// fail marks the job failed.
+func (j *Job) fail(err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finishLocked(StatusFailed, err.Error())
+}
+
+// cancelled marks the job cancelled (explicit DELETE, timeout, or
+// server shutdown), recording the reason.
+func (j *Job) cancelled(reason string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finishLocked(StatusCancelled, reason)
+}
+
+// eventsSince returns events with Seq >= from plus the channel that
+// signals the next append.
+func (j *Job) eventsSince(from int) ([]Event, <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var out []Event
+	if from < len(j.events) {
+		out = append(out, j.events[from:]...)
+	}
+	return out, j.notify
+}
+
+// progressWriter adapts the job's event stream to the io.Writer the
+// bench Options.Progress seam expects: one event per completed line.
+type progressWriter struct {
+	job *Job
+	buf strings.Builder
+}
+
+func (w *progressWriter) Write(p []byte) (int, error) {
+	for _, b := range p {
+		if b == '\n' {
+			w.job.progress(w.buf.String())
+			w.buf.Reset()
+			continue
+		}
+		w.buf.WriteByte(b)
+	}
+	return len(p), nil
+}

@@ -1,0 +1,318 @@
+package serve
+
+// The worker pool: a bounded job queue drained by a fixed set of host
+// workers (the same fan-out shape as internal/explore's campaign
+// driver, pointed at jobs instead of seeds). Three properties are
+// load-bearing:
+//
+//   - Backpressure, not buffering: Submit never blocks. A full queue is
+//     an immediate ErrQueueFull, which the HTTP layer turns into 429 —
+//     the client retries with backoff instead of the server hoarding
+//     unbounded work.
+//
+//   - In-flight deduplication: identical submissions (same content
+//     address) while a job is queued or running attach to that job
+//     rather than enqueueing a duplicate, so N concurrent identical
+//     POSTs cost exactly one simulation. Completed results then serve
+//     later arrivals from the cache.
+//
+//   - Isolation: each job runs under its own context (cancellable,
+//     optionally deadlined) with panics confined to the job — a
+//     panicking simulation fails that job, never the worker or the
+//     process.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Submit errors the HTTP layer maps onto status codes.
+var (
+	ErrQueueFull    = errors.New("serve: job queue is full")
+	ErrShuttingDown = errors.New("serve: server is shutting down")
+)
+
+// Runner executes one job's work and returns the canonical result
+// bytes. The pool owns status transitions; a Runner only computes.
+type Runner func(ctx context.Context, job *Job) ([]byte, error)
+
+// PoolConfig sizes a Pool.
+type PoolConfig struct {
+	// Workers is the number of concurrent host workers (default 2).
+	Workers int
+	// QueueDepth bounds jobs accepted but not yet running (default 16).
+	QueueDepth int
+	// DefaultTimeout applies to jobs that do not set one (0 = none).
+	DefaultTimeout time.Duration
+	// Retain bounds how many finished jobs stay queryable (default 256);
+	// the oldest finished jobs are forgotten first.
+	Retain int
+}
+
+func (c PoolConfig) withDefaults() PoolConfig {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.Retain <= 0 {
+		c.Retain = 256
+	}
+	return c
+}
+
+// PoolStats is a point-in-time snapshot of the pool counters.
+type PoolStats struct {
+	Accepted  uint64 `json:"jobs_accepted"`
+	Rejected  uint64 `json:"jobs_rejected"`
+	Deduped   uint64 `json:"jobs_deduped"`
+	Completed uint64 `json:"jobs_completed"`
+	Failed    uint64 `json:"jobs_failed"`
+	Cancelled uint64 `json:"jobs_cancelled"`
+	Panics    uint64 `json:"jobs_panicked"`
+
+	QueueDepth  int `json:"queue_depth"`
+	QueueCap    int `json:"queue_cap"`
+	Workers     int `json:"workers"`
+	WorkersBusy int `json:"workers_busy"`
+}
+
+// Pool runs jobs on a fixed worker set behind a bounded queue.
+type Pool struct {
+	cfg   PoolConfig
+	run   Runner
+	cache *Cache
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	queue   chan *Job
+	wg      sync.WaitGroup
+
+	mu       sync.Mutex
+	closed   bool
+	jobs     map[string]*Job // by ID, finished jobs retained up to cfg.Retain
+	inflight map[string]*Job // by content key, queued or running
+	finished []string        // finished job IDs, oldest first (retention ring)
+	nextID   uint64
+
+	accepted, rejected, deduped     atomic.Uint64
+	completed, failed, cancelledCnt atomic.Uint64
+	panics                          atomic.Uint64
+	busy                            atomic.Int64
+}
+
+// NewPool builds and starts a pool. cache may be nil (no result reuse).
+func NewPool(cfg PoolConfig, cache *Cache, run Runner) *Pool {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &Pool{
+		cfg:      cfg,
+		run:      run,
+		cache:    cache,
+		baseCtx:  ctx,
+		stop:     cancel,
+		queue:    make(chan *Job, cfg.QueueDepth),
+		jobs:     make(map[string]*Job),
+		inflight: make(map[string]*Job),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// Submit accepts one job request. The fast paths never simulate:
+// an in-flight job with the same content address is returned as-is
+// (deduplicated), and a cached result births an already-done job.
+// A full queue returns ErrQueueFull without blocking.
+func (p *Pool) Submit(req JobRequest, key string) (*Job, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, ErrShuttingDown
+	}
+
+	if key != "" && !req.NoCache {
+		if j, ok := p.inflight[key]; ok {
+			p.deduped.Add(1)
+			return j, nil
+		}
+		if p.cache != nil {
+			if b, ok := p.cache.Get(key); ok {
+				j := p.newJobLocked(key, req)
+				j.complete(b, true)
+				p.retireLocked(j)
+				return j, nil
+			}
+		}
+	}
+
+	j := p.newJobLocked(key, req)
+	select {
+	case p.queue <- j:
+	default:
+		p.rejected.Add(1)
+		delete(p.jobs, j.ID)
+		j.cancel()
+		return nil, ErrQueueFull
+	}
+	p.accepted.Add(1)
+	if key != "" && !req.NoCache {
+		p.inflight[key] = j
+	}
+	return j, nil
+}
+
+// newJobLocked allocates and registers a job; p.mu held.
+func (p *Pool) newJobLocked(key string, req JobRequest) *Job {
+	p.nextID++
+	ctx, cancel := context.WithCancel(p.baseCtx)
+	j := newJob("j"+strconv.FormatUint(p.nextID, 10), key, req, ctx, cancel)
+	p.jobs[j.ID] = j
+	return j
+}
+
+// Job looks a job up by ID.
+func (p *Pool) Job(id string) *Job {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.jobs[id]
+}
+
+// worker drains the queue until it is closed (graceful shutdown runs
+// every queued job) or the base context dies (forced shutdown).
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for j := range p.queue {
+		p.runJob(j)
+	}
+}
+
+// runJob executes one job with panic isolation and timeout handling.
+func (p *Pool) runJob(j *Job) {
+	if j.ctx.Err() != nil || !j.setRunning() {
+		// Cancelled while queued (DELETE or shutdown): never ran.
+		j.cancelled("cancelled while queued")
+		p.cancelledCnt.Add(1)
+		p.retire(j)
+		return
+	}
+	p.busy.Add(1)
+	defer p.busy.Add(-1)
+
+	ctx := j.ctx
+	timeout := p.cfg.DefaultTimeout
+	if j.req.TimeoutMs != 0 {
+		timeout = time.Duration(j.req.TimeoutMs) * time.Millisecond
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	var result []byte
+	var err error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				p.panics.Add(1)
+				err = fmt.Errorf("job panicked: %v", r)
+			}
+		}()
+		result, err = p.run(ctx, j)
+	}()
+
+	switch {
+	case err == nil:
+		if j.Key != "" && !j.req.NoCache && p.cache != nil {
+			p.cache.Put(j.Key, result)
+		}
+		j.complete(result, false)
+		p.completed.Add(1)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded),
+		ctx.Err() != nil:
+		reason := "cancelled"
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			reason = "timed out"
+		}
+		j.cancelled(reason)
+		p.cancelledCnt.Add(1)
+	default:
+		j.fail(err)
+		p.failed.Add(1)
+	}
+	p.retire(j)
+}
+
+// retire moves a finished job out of the in-flight index and applies
+// the retention bound.
+func (p *Pool) retire(j *Job) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.retireLocked(j)
+}
+
+func (p *Pool) retireLocked(j *Job) {
+	if j.Key != "" && p.inflight[j.Key] == j {
+		delete(p.inflight, j.Key)
+	}
+	p.finished = append(p.finished, j.ID)
+	for len(p.finished) > p.cfg.Retain {
+		delete(p.jobs, p.finished[0])
+		p.finished = p.finished[1:]
+	}
+}
+
+// Shutdown drains gracefully: no new submissions, queued and running
+// jobs finish, then workers exit. If ctx expires first, running jobs
+// are cancelled (they stop at their next decision boundary) and the
+// drain completes with ctx's error.
+func (p *Pool) Shutdown(ctx context.Context) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	close(p.queue)
+	p.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		p.stop() // cancel every job context; workers finish promptly
+		<-drained
+		return ctx.Err()
+	}
+}
+
+// Stats snapshots the pool counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Accepted:    p.accepted.Load(),
+		Rejected:    p.rejected.Load(),
+		Deduped:     p.deduped.Load(),
+		Completed:   p.completed.Load(),
+		Failed:      p.failed.Load(),
+		Cancelled:   p.cancelledCnt.Load(),
+		Panics:      p.panics.Load(),
+		QueueDepth:  len(p.queue),
+		QueueCap:    cap(p.queue),
+		Workers:     p.cfg.Workers,
+		WorkersBusy: int(p.busy.Load()),
+	}
+}
