@@ -34,8 +34,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
 	"stacktrack/internal/bench"
 	"stacktrack/internal/cli"
@@ -85,30 +83,19 @@ func main() {
 	opts.Seed = *seed
 	opts.Profile = *profile
 	if *threads != "" {
-		opts.Threads = nil
-		for _, part := range strings.Split(*threads, ",") {
-			n, err := strconv.Atoi(strings.TrimSpace(part))
-			if err != nil || n <= 0 {
-				fmt.Fprintf(os.Stderr, "stbench: bad thread count %q\n", part)
-				os.Exit(cli.ExitUsage)
-			}
-			opts.Threads = append(opts.Threads, n)
+		parsed, err := cli.ParseIntList(*threads)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stbench: -threads: %v\n", err)
+			os.Exit(cli.ExitUsage)
 		}
+		opts.Threads = parsed
 	}
 	if *verbose {
 		opts.Progress = os.Stderr
 	}
 
 	// Selection: -run entries plus positional names; empty = everything.
-	var want []string
-	if *run != "" {
-		for _, part := range strings.Split(*run, ",") {
-			if p := strings.TrimSpace(part); p != "" {
-				want = append(want, p)
-			}
-		}
-	}
-	want = append(want, flag.Args()...)
+	want := append(cli.SplitList(*run), flag.Args()...)
 
 	var exps []*bench.Experiment
 	if len(want) == 0 {

@@ -1,0 +1,156 @@
+// Command stctl drives a fleet of stserved workers through one
+// experiment sweep (or one fuzz campaign) and merges the per-shard
+// results into a document byte-identical to what a single-node
+// `stbench -json` run would have written.
+//
+// Usage:
+//
+//	stctl -workers http://a:8080,http://b:8080 -run E1a,E2b -json out.json
+//
+// The sweep is decomposed into one shard per (experiment, thread-count)
+// point; shards are dispatched to the least-loaded healthy worker,
+// retried with backoff on another worker when one fails or dies, and
+// optionally hedged (-hedge-after) when a worker goes quiet. Workers
+// that stop answering /v1/healthz are ejected from rotation and
+// reinstated when they recover. Because every worker computes the same
+// content-addressed result for the same shard, retries and hedges are
+// safe: duplicated work is coalesced worker-side and the merge is
+// deterministic.
+//
+// Fuzz campaigns shard by seed range instead:
+//
+//	stctl -workers ... -explore '{"config":{"structure":"list","scheme":"stacktrack","threads":3},"max_runs":1000}' -explore-shards 8
+//
+// Only deterministic campaigns (single worker, max_runs budget, no
+// wall-clock bound) can be sharded; stctl refuses anything else.
+//
+// Exit status: 1 when the sweep fails, 2 on usage errors, 130 when
+// interrupted.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"stacktrack/internal/bench"
+	"stacktrack/internal/cli"
+	"stacktrack/internal/dist"
+	"stacktrack/internal/serve"
+)
+
+func main() {
+	var (
+		workers = flag.String("workers", "", "comma-separated stserved base URLs (required)")
+		run     = flag.String("run", "", "comma-separated experiments (names, IDs, or aliases); empty = all")
+		jsonOut = flag.String("json", "", "write the merged document to this file (default stdout)")
+		verbose = flag.Bool("v", false, "log dispatch, ejections, and retries to stderr")
+
+		// Sweep shape — mirrors stbench so the merged document is
+		// byte-identical to what stbench -json would produce with the
+		// same flags.
+		quick     = flag.Bool("quick", false, "reduced sweep (fewer thread counts, shorter runs)")
+		threads   = flag.String("threads", "", "comma-separated thread counts (e.g. 1,2,4,8,16)")
+		measureMs = flag.Float64("measure-ms", 0, "virtual measurement window per point (ms)")
+		warmupMs  = flag.Float64("warmup-ms", 0, "virtual warmup per point (ms)")
+		seed      = flag.Uint64("seed", 0, "master seed (0 = default)")
+		profile   = flag.Bool("profile", false, "enable the virtual-cycle profiler on every point")
+		sanitize  = flag.Bool("sanitize", false, "run every point under the sanitizer harness")
+
+		// Fleet robustness knobs.
+		shardTimeout = flag.Duration("shard-timeout", 5*time.Minute, "per-shard deadline across all attempts")
+		retries      = flag.Int("retries", 3, "retry budget per shard beyond the first attempt")
+		backoff      = flag.Duration("backoff", 100*time.Millisecond, "base retry backoff (doubles per attempt, jittered)")
+		hedgeAfter   = flag.Duration("hedge-after", 0, "launch a backup attempt on another worker after this long (0 = off)")
+		healthEvery  = flag.Duration("health-every", time.Second, "health-probe interval")
+
+		// Fuzz campaign mode.
+		exploreSpec   = flag.String("explore", "", "run a fuzz campaign instead of a sweep: JSON ExploreSpec")
+		exploreShards = flag.Int("explore-shards", 0, "seed-range shards for -explore (default one per worker)")
+	)
+	flag.Parse()
+
+	fleet := cli.SplitList(*workers)
+	if len(fleet) == 0 {
+		fmt.Fprintln(os.Stderr, "stctl: -workers is required (comma-separated stserved base URLs)")
+		os.Exit(cli.ExitUsage)
+	}
+
+	ctx, cancel := cli.SignalContext()
+	defer cancel()
+
+	cfg := dist.Config{
+		Workers:      fleet,
+		ShardTimeout: *shardTimeout,
+		Retries:      *retries,
+		Backoff:      *backoff,
+		HedgeAfter:   *hedgeAfter,
+		HealthEvery:  *healthEvery,
+	}
+	if *verbose {
+		cfg.Progress = os.Stderr
+	}
+	coord, err := dist.New(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stctl: %v\n", err)
+		os.Exit(cli.ExitUsage)
+	}
+	defer coord.Close()
+
+	var doc []byte
+	if *exploreSpec != "" {
+		var spec serve.ExploreSpec
+		if err := json.Unmarshal([]byte(*exploreSpec), &spec); err != nil {
+			fmt.Fprintf(os.Stderr, "stctl: -explore: %v\n", err)
+			os.Exit(cli.ExitUsage)
+		}
+		shards := *exploreShards
+		if shards <= 0 {
+			shards = len(fleet)
+		}
+		doc, err = coord.RunExplore(ctx, spec, shards)
+	} else {
+		parsed, perr := cli.ParseIntList(*threads)
+		if perr != nil {
+			fmt.Fprintf(os.Stderr, "stctl: -threads: %v\n", perr)
+			os.Exit(cli.ExitUsage)
+		}
+		so := &serve.SweepOptions{
+			Threads:   parsed,
+			MeasureMs: *measureMs,
+			WarmupMs:  *warmupMs,
+			Seed:      *seed,
+			Quick:     *quick,
+			Profile:   *profile,
+			Sanitize:  *sanitize,
+		}
+		// Selection mirrors stbench: -run entries plus positional
+		// names; empty = every experiment in paper order.
+		names := append(cli.SplitList(*run), flag.Args()...)
+		if len(names) == 0 {
+			for i := range bench.Experiments {
+				names = append(names, bench.Experiments[i].ID)
+			}
+		}
+		doc, err = coord.RunExperiments(ctx, names, so)
+	}
+	if err != nil {
+		if cli.Interrupted(err) {
+			fmt.Fprintln(os.Stderr, "stctl: interrupted")
+			os.Exit(cli.ExitInterrupted)
+		}
+		fmt.Fprintf(os.Stderr, "stctl: %v\n", err)
+		os.Exit(cli.ExitFailure)
+	}
+
+	if *jsonOut == "" {
+		os.Stdout.Write(doc)
+		return
+	}
+	if err := os.WriteFile(*jsonOut, doc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "stctl: %v\n", err)
+		os.Exit(cli.ExitFailure)
+	}
+}

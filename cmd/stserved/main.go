@@ -4,7 +4,7 @@
 // submissions of the same (config, seed, schema version) are served the
 // exact bytes the first run produced, without simulating again.
 //
-//	stserved -addr :8321 -workers 4 -queue 32 -cache 256 -cache-dir /var/cache/st
+//	stserved -addr :8321 -workers 4 -queue 32 -cache 256 -cache-dir /var/cache/st -cache-disk-max 104857600
 //
 // API (see internal/serve):
 //
@@ -42,6 +42,7 @@ func main() {
 		queue    = flag.Int("queue", 16, "max queued jobs before 429")
 		cacheN   = flag.Int("cache", 256, "in-memory result cache entries (0 = off)")
 		cacheDir = flag.String("cache-dir", "", "on-disk result cache directory (empty = memory only)")
+		cacheMax = flag.Int64("cache-disk-max", 0, "on-disk cache byte budget; oldest results pruned beyond it (0 = unbounded)")
 		timeout  = flag.Duration("timeout", 0, "default per-job timeout (0 = none)")
 		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 	)
@@ -51,9 +52,14 @@ func main() {
 		os.Exit(cli.ExitUsage)
 	}
 
+	if *cacheMax > 0 && *cacheDir == "" {
+		fmt.Fprintln(os.Stderr, "stserved: -cache-disk-max needs -cache-dir")
+		os.Exit(cli.ExitUsage)
+	}
 	var cache *serve.Cache
 	if *cacheN > 0 || *cacheDir != "" {
 		cache = serve.NewCache(*cacheN, *cacheDir)
+		cache.SetDiskLimit(*cacheMax)
 	}
 	srv := serve.NewServer(serve.PoolConfig{
 		Workers:        *workers,

@@ -35,6 +35,15 @@ type Options struct {
 	// scheduling-decision boundaries inside a point via RunContext. The
 	// sweep returns the context's error; points already collected stand.
 	Ctx context.Context
+	// ShardThreads, when non-nil, restricts the sweep to these thread
+	// counts without changing anything else about it — each point is
+	// simulated exactly as it would be inside the full sweep, so shard
+	// documents merge back into the full document byte for byte. Unlike
+	// overriding Threads, the restriction composes with experiments that
+	// own their axis (E10's fixed big-machine list) and leaves the
+	// exported OptionsJSON.Threads recording the full sweep. This is the
+	// distributed coordinator's decomposition seam (internal/dist).
+	ShardThreads []int
 }
 
 // WithDefaults fills an Options with full-figure parameters.
@@ -76,6 +85,26 @@ func (o Options) cfg(structure, scheme string, threads int) Config {
 	}
 }
 
+// SweepThreads returns the thread counts a sweep should actually run:
+// axis, restricted to ShardThreads (order and duplicates follow axis)
+// when a shard restriction is set.
+func (o Options) SweepThreads(axis []int) []int {
+	if o.ShardThreads == nil {
+		return axis
+	}
+	keep := make(map[int]bool, len(o.ShardThreads))
+	for _, n := range o.ShardThreads {
+		keep[n] = true
+	}
+	var out []int
+	for _, n := range axis {
+		if keep[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
 func (o Options) collect(series string, threads int, res *Result) {
 	if o.Collect != nil {
 		o.Collect(series, threads, res)
@@ -91,7 +120,7 @@ func (o Options) progress(format string, args ...any) {
 // throughputSweep runs structure × schemes × threads and returns ops/sec.
 func throughputSweep(structure string, schemes []string, o Options) (*Table, error) {
 	tb := &Table{Cols: append([]string{"threads"}, schemes...)}
-	for _, n := range o.Threads {
+	for _, n := range o.SweepThreads(o.Threads) {
 		row := []string{fmt.Sprintf("%d", n)}
 		for _, s := range schemes {
 			res, err := o.run(o.cfg(structure, s, n))
@@ -161,20 +190,23 @@ func Figure2Hash(o Options) (*Table, error) {
 }
 
 // listStackTrackSweep runs the list benchmark under StackTrack once per
-// thread count (Figures 3 and 4 share it).
-func listStackTrackSweep(o Options) ([]*Result, error) {
+// thread count (Figures 3 and 4 share it). The returned thread slice is
+// aligned with the results (it differs from o.Threads under a shard
+// restriction).
+func listStackTrackSweep(o Options) ([]int, []*Result, error) {
+	threads := o.SweepThreads(o.Threads)
 	var out []*Result
-	for _, n := range o.Threads {
+	for _, n := range threads {
 		res, err := o.run(o.cfg(StructList, SchemeStackTrack, n))
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		o.collect(SchemeStackTrack, n, res)
 		o.progress("list StackTrack threads=%d: %.0f ops/s, %d conflict aborts, %d capacity aborts",
 			n, res.Throughput, res.Mem.ConflictAborts, res.Mem.CapacityAborts)
 		out = append(out, res)
 	}
-	return out, nil
+	return threads, out, nil
 }
 
 // Figure3Aborts regenerates Figure 3: HTM contention and capacity aborts in
@@ -182,7 +214,7 @@ func listStackTrackSweep(o Options) ([]*Result, error) {
 // per-run averages, so shapes (not magnitudes) are comparable.
 func Figure3Aborts(o Options) (*Table, error) {
 	o = o.WithDefaults()
-	results, err := listStackTrackSweep(o)
+	threads, results, err := listStackTrackSweep(o)
 	if err != nil {
 		return nil, err
 	}
@@ -196,7 +228,7 @@ func Figure3Aborts(o Options) (*Table, error) {
 		if res.Core.Segments > 0 {
 			perSeg = 1000 * float64(res.Mem.Aborts()) / float64(res.Core.Segments)
 		}
-		tb.AddRow(fmt.Sprintf("%d", o.Threads[i]),
+		tb.AddRow(fmt.Sprintf("%d", threads[i]),
 			fmt.Sprintf("%d", res.Mem.ConflictAborts),
 			fmt.Sprintf("%d", res.Mem.CapacityAborts),
 			fmt.Sprintf("%d", res.Mem.PreemptAborts),
@@ -210,7 +242,7 @@ func Figure3Aborts(o Options) (*Table, error) {
 // average split (segment) lengths in the list benchmark.
 func Figure4Splits(o Options) (*Table, error) {
 	o = o.WithDefaults()
-	results, err := listStackTrackSweep(o)
+	threads, results, err := listStackTrackSweep(o)
 	if err != nil {
 		return nil, err
 	}
@@ -227,7 +259,7 @@ func Figure4Splits(o Options) (*Table, error) {
 		if res.Core.Segments > 0 {
 			avgLen = float64(res.Core.SegmentBlocks) / float64(res.Core.Segments)
 		}
-		tb.AddRow(fmt.Sprintf("%d", o.Threads[i]), f2(splitsPerOp), f2(avgLen), f2(res.AvgSegmentLimit))
+		tb.AddRow(fmt.Sprintf("%d", threads[i]), f2(splitsPerOp), f2(avgLen), f2(res.AvgSegmentLimit))
 	}
 	return tb, nil
 }
@@ -241,7 +273,7 @@ func Figure5SlowPath(o Options) (*Table, error) {
 		Title: "Figure 5 — SkipList: slow-path fallback impact (relative to 0% slow)",
 		Cols:  []string{"threads", "Slow-0", "Slow-10", "Slow-50", "Slow-100"},
 	}
-	for _, n := range o.Threads {
+	for _, n := range o.SweepThreads(o.Threads) {
 		row := []string{fmt.Sprintf("%d", n)}
 		var base float64
 		for _, pct := range pcts {
@@ -279,7 +311,7 @@ func TableScanStats(o Options) (*Table, error) {
 			"ops/s(F1)", "scans(F1)", "depth(F1)", "penalty%(F1)",
 			"ops/s(F10)", "scans(F10)", "depth(F10)", "penalty%(F10)"},
 	}
-	for _, n := range o.Threads {
+	for _, n := range o.SweepThreads(o.Threads) {
 		row := []string{fmt.Sprintf("%d", n)}
 		for _, every := range []int{1, 10} {
 			cfg := o.cfg(StructSkipList, SchemeStackTrack, n)
@@ -321,7 +353,7 @@ func AblationScan(o Options) (*Table, error) {
 			"ops/s(per-ptr)", "words/scan(per-ptr)",
 			"ops/s(hashed)", "words/scan(hashed)"},
 	}
-	for _, n := range o.Threads {
+	for _, n := range o.SweepThreads(o.Threads) {
 		row := []string{fmt.Sprintf("%d", n)}
 		for _, hashed := range []bool{false, true} {
 			cfg := o.cfg(StructSkipList, SchemeStackTrack, n)
@@ -358,7 +390,7 @@ func AblationPredictor(o Options) (*Table, error) {
 			"ops/s(additive)", "len(additive)",
 			"ops/s(aimd)", "len(aimd)"},
 	}
-	for _, n := range o.Threads {
+	for _, n := range o.SweepThreads(o.Threads) {
 		row := []string{fmt.Sprintf("%d", n)}
 		for _, policy := range []string{"additive", "aimd"} {
 			cfg := o.cfg(StructList, SchemeStackTrack, n)
@@ -418,7 +450,7 @@ func ExtensionCrash(o Options) (*Table, error) {
 			"ops/s(DTA)", "unreclaimed(DTA)",
 			"ops/s(StackTrack)", "unreclaimed(StackTrack)"},
 	}
-	for _, n := range o.Threads {
+	for _, n := range o.SweepThreads(o.Threads) {
 		if n < 2 {
 			continue // need a survivor and a victim
 		}
@@ -447,7 +479,7 @@ func ExtensionBigMachine(o Options) (*Table, error) {
 	o = o.WithDefaults()
 	big := topo.Haswell8Way()
 	big.Cores = 16
-	threads := []int{1, 2, 4, 8, 12, 16, 20, 24, 28, 32}
+	threads := o.SweepThreads(BigMachineThreads)
 	schemes := []string{SchemeOriginal, SchemeHazards, SchemeEpoch, SchemeStackTrack}
 	tb := &Table{
 		Title: "Extension — 16-core × 2-HT machine, skip list (§7's scaling prediction)",
@@ -471,32 +503,53 @@ func ExtensionBigMachine(o Options) (*Table, error) {
 	return tb, nil
 }
 
+// BigMachineThreads is E10's fixed thread axis: the extension sweeps a
+// larger simulated machine than the default 1..16 x-axis covers.
+var BigMachineThreads = []int{1, 2, 4, 8, 12, 16, 20, 24, 28, 32}
+
+// crashAxis is E9's thread axis: the crash experiment needs a survivor
+// and a victim, so single-thread points are never swept.
+func crashAxis(o Options) []int {
+	var out []int
+	for _, n := range o.WithDefaults().Threads {
+		if n >= 2 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
 // Experiment is one registered experiment: a long name, a short stable ID
 // (used for baseline filenames like BENCH_E1a.json), an optional extra
-// alias, and the runner.
+// alias, and the runner. Axis, when set, names the thread counts the
+// sweep actually covers under a given Options (experiments that own
+// their axis or skip part of it); nil means Options.Threads verbatim.
+// SweepAxis resolves it; the distributed coordinator decomposes along it.
 type Experiment struct {
 	Name  string
 	ID    string
 	Alias string
 	Run   func(Options) (*Table, error)
+	Axis  func(Options) []int
 }
 
 // Experiments lists the paper's figures and tables in order, then the
 // ablations of design choices.
 var Experiments = []Experiment{
-	{"figure1-list", "E1a", "fig1-list", Figure1List},
-	{"figure1-skiplist", "E1b", "fig1-skiplist", Figure1SkipList},
-	{"figure2-queue", "E2a", "fig2-queue", Figure2Queue},
-	{"figure2-hash", "E2b", "fig2-hash", Figure2Hash},
-	{"figure3-aborts", "E3", "fig3-aborts", Figure3Aborts},
-	{"figure4-splits", "E4", "fig4-splits", Figure4Splits},
-	{"figure5-slowpath", "E5", "fig5-slowpath", Figure5SlowPath},
-	{"table-scanstats", "E6", "scanstats", TableScanStats},
-	{"ablation-scan", "E8a", "", AblationScan},
-	{"ablation-predictor", "E8b", "", AblationPredictor},
-	{"extension-schemes", "E8c", "", ExtensionSchemes},
-	{"extension-crash", "E9", "", ExtensionCrash},
-	{"extension-bigmachine", "E10", "", ExtensionBigMachine},
+	{Name: "figure1-list", ID: "E1a", Alias: "fig1-list", Run: Figure1List},
+	{Name: "figure1-skiplist", ID: "E1b", Alias: "fig1-skiplist", Run: Figure1SkipList},
+	{Name: "figure2-queue", ID: "E2a", Alias: "fig2-queue", Run: Figure2Queue},
+	{Name: "figure2-hash", ID: "E2b", Alias: "fig2-hash", Run: Figure2Hash},
+	{Name: "figure3-aborts", ID: "E3", Alias: "fig3-aborts", Run: Figure3Aborts},
+	{Name: "figure4-splits", ID: "E4", Alias: "fig4-splits", Run: Figure4Splits},
+	{Name: "figure5-slowpath", ID: "E5", Alias: "fig5-slowpath", Run: Figure5SlowPath},
+	{Name: "table-scanstats", ID: "E6", Alias: "scanstats", Run: TableScanStats},
+	{Name: "ablation-scan", ID: "E8a", Run: AblationScan},
+	{Name: "ablation-predictor", ID: "E8b", Run: AblationPredictor},
+	{Name: "extension-schemes", ID: "E8c", Run: ExtensionSchemes},
+	{Name: "extension-crash", ID: "E9", Run: ExtensionCrash, Axis: crashAxis},
+	{Name: "extension-bigmachine", ID: "E10", Run: ExtensionBigMachine,
+		Axis: func(Options) []int { return BigMachineThreads }},
 }
 
 // FindExperiment resolves a user-supplied name against every experiment's

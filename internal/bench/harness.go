@@ -44,6 +44,12 @@ const (
 	StructRBTree   = "rbtree"
 )
 
+// Key distributions accepted by Config.KeyDist.
+const (
+	KeyDistUniform = "uniform"
+	KeyDistZipfian = "zipfian"
+)
+
 // Config describes one benchmark run.
 type Config struct {
 	Structure string
@@ -56,6 +62,15 @@ type Config struct {
 	KeyRange    uint64
 	MutatePct   int
 	Buckets     int // hash only
+
+	// KeyDist selects the key distribution for set structures:
+	// KeyDistUniform (the paper's workload, the default) or
+	// KeyDistZipfian, which skews operations onto a hot key prefix with
+	// skew ZipfTheta (0 = workload.DefaultZipfTheta). Both feed
+	// ConfigKey, so skewed runs are content-addressed and cacheable
+	// separately from uniform ones.
+	KeyDist   string
+	ZipfTheta float64
 
 	// QueuePrefill seeds the queue before measurement.
 	QueuePrefill int
@@ -143,6 +158,12 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.MutatePct == 0 {
 		c.MutatePct = 20
+	}
+	if c.KeyDist == "" {
+		c.KeyDist = KeyDistUniform
+	}
+	if c.KeyDist == KeyDistZipfian && c.ZipfTheta == 0 {
+		c.ZipfTheta = workload.DefaultZipfTheta
 	}
 	if c.Buckets == 0 {
 		c.Buckets = 4096
@@ -663,6 +684,24 @@ func (in *instance) classify(t *sched.Thread, op *prog.Op, result uint64) {
 	}
 }
 
+// setMix builds the set-structure operation mix, including the shared
+// Zipf state (O(KeyRange) setup, built once per run, read-only across
+// threads) when the config asks for skewed keys.
+func setMix(cfg Config) (workload.SetMix, error) {
+	mix := workload.SetMix{KeyRange: cfg.KeyRange, MutatePct: cfg.MutatePct}
+	switch cfg.KeyDist {
+	case "", KeyDistUniform:
+	case KeyDistZipfian:
+		if cfg.ZipfTheta <= 0 || cfg.ZipfTheta >= 1 {
+			return mix, fmt.Errorf("bench: zipf theta %v outside (0, 1)", cfg.ZipfTheta)
+		}
+		mix.Zipf = workload.NewZipf(cfg.KeyRange, cfg.ZipfTheta)
+	default:
+		return mix, fmt.Errorf("bench: unknown key distribution %q", cfg.KeyDist)
+	}
+	return mix, nil
+}
+
 // buildStructure creates and prefills the benchmark structure and returns
 // the per-thread workload function plus a baseline() that counts the
 // structure's legitimate live objects after drain.
@@ -675,7 +714,10 @@ func (in *instance) buildStructure() (func(t *sched.Thread) (*prog.Op, [3]uint64
 		in.registerOps(l.OpContains, l.OpInsert, l.OpDelete)
 		keys := workload.SampleKeys(cfg.Seed+1, cfg.InitialSize, cfg.KeyRange)
 		l.Seed(in.al, in.m, keys, 7)
-		mix := workload.SetMix{KeyRange: cfg.KeyRange, MutatePct: cfg.MutatePct}
+		mix, err := setMix(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
 		next := func(t *sched.Thread) (*prog.Op, [3]uint64) {
 			kind, key := mix.Next(t.Rng)
 			switch kind {
@@ -698,7 +740,10 @@ func (in *instance) buildStructure() (func(t *sched.Thread) (*prog.Op, [3]uint64
 		in.registerOps(h.OpContains, h.OpInsert, h.OpDelete)
 		keys := workload.SampleKeys(cfg.Seed+1, cfg.InitialSize, cfg.KeyRange)
 		h.Seed(in.al, in.m, keys, 7)
-		mix := workload.SetMix{KeyRange: cfg.KeyRange, MutatePct: cfg.MutatePct}
+		mix, err := setMix(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
 		next := func(t *sched.Thread) (*prog.Op, [3]uint64) {
 			kind, key := mix.Next(t.Rng)
 			switch kind {
@@ -719,7 +764,10 @@ func (in *instance) buildStructure() (func(t *sched.Thread) (*prog.Op, [3]uint64
 		in.registerOps(s.OpContains, s.OpInsert, s.OpDelete)
 		keys := workload.SampleKeys(cfg.Seed+1, cfg.InitialSize, cfg.KeyRange)
 		s.Seed(in.al, in.m, keys, 7, cfg.Seed+2)
-		mix := workload.SetMix{KeyRange: cfg.KeyRange, MutatePct: cfg.MutatePct}
+		mix, err := setMix(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
 		next := func(t *sched.Thread) (*prog.Op, [3]uint64) {
 			kind, key := mix.Next(t.Rng)
 			switch kind {

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestShardPlanCoversAxis: the plan is one single-point shard per axis
+// entry, and the axis respects experiments that own theirs — E9 never
+// sweeps a single thread, E10 sweeps its fixed big-machine list no
+// matter what Options.Threads says.
+func TestShardPlanCoversAxis(t *testing.T) {
+	o := Options{Threads: []int{1, 2, 4}}
+
+	check := func(id string, want []int) {
+		t.Helper()
+		e := FindExperiment(id)
+		if e == nil {
+			t.Fatalf("%s not registered", id)
+		}
+		plan := ShardPlan(e, o)
+		if len(plan) != len(want) {
+			t.Fatalf("%s: plan %v, want axis %v", id, plan, want)
+		}
+		for i, shard := range plan {
+			if len(shard) != 1 || shard[0] != want[i] {
+				t.Fatalf("%s: plan %v, want axis %v", id, plan, want)
+			}
+		}
+	}
+	check("E1a", []int{1, 2, 4})
+	check("E9", []int{2, 4}) // needs a survivor and a victim
+	check("E10", BigMachineThreads)
+}
+
+// TestShardKeysDistinct: every shard of a sweep has its own content
+// address, none of which collides with the whole sweep's address or
+// with the same shard of different Options.
+func TestShardKeysDistinct(t *testing.T) {
+	e := FindExperiment("E1a")
+	o := tinyJSONOptions()
+	seen := map[string]string{}
+
+	whole, err := ExperimentKey(e, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen[whole] = "whole sweep"
+
+	for _, shard := range ShardPlan(e, o) {
+		k, err := ShardKey(e, o, shard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("shard %v collides with %s", shard, prev)
+		}
+		seen[k] = "shard"
+	}
+
+	o2 := o
+	o2.Seed = 99
+	k1, _ := ShardKey(e, o, []int{2})
+	k2, err := ShardKey(e, o2, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 == k2 {
+		t.Fatal("different seeds produced the same shard key")
+	}
+
+	if _, err := ShardKey(e, o, nil); err == nil {
+		t.Fatal("empty shard produced a key")
+	}
+}
+
+// TestShardRunMatchesFullSubset: concatenating the shard documents'
+// points in plan order reproduces the full sweep byte for byte — same
+// points, same Options block, same title.
+func TestShardRunMatchesFullSubset(t *testing.T) {
+	e := FindExperiment("E1a")
+	o := Options{Threads: []int{1, 2}, MeasureMs: 0.5, WarmupMs: 0.1}
+
+	full, _, err := RunExperimentJSON(e, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var merged []PointJSON
+	for _, shard := range ShardPlan(e, o) {
+		doc, err := RunExperimentShard(e, o, shard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if doc.Title != full.Title {
+			t.Fatalf("shard %v title %q, want %q", shard, doc.Title, full.Title)
+		}
+		sb, _ := json.Marshal(doc.Options)
+		fb, _ := json.Marshal(full.Options)
+		if !bytes.Equal(sb, fb) {
+			t.Fatalf("shard %v options %s, want %s", shard, sb, fb)
+		}
+		merged = append(merged, doc.Points...)
+	}
+
+	mb, err := json.Marshal(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := json.Marshal(full.Points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mb, fb) {
+		t.Fatalf("merged shard points differ from the full sweep:\n%s\nvs\n%s", mb, fb)
+	}
+}

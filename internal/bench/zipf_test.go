@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestZipfianWorkloadRuns: a skewed run completes cleanly, is
+// deterministic (same config, same counters), and actually differs from
+// the uniform run it shadows.
+func TestZipfianWorkloadRuns(t *testing.T) {
+	cfg := smokeCfg(StructList, SchemeStackTrack, 3)
+	cfg.KeyDist = KeyDistZipfian
+
+	r1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Ops == 0 || r1.UAFReads != 0 {
+		t.Fatalf("ops=%d uaf=%d", r1.Ops, r1.UAFReads)
+	}
+	r2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Ops != r2.Ops || r1.SuccInserts != r2.SuccInserts || r1.SuccDeletes != r2.SuccDeletes {
+		t.Fatalf("zipfian run is not deterministic: %+v vs %+v", r1.Ops, r2.Ops)
+	}
+
+	uniform, err := Run(smokeCfg(StructList, SchemeStackTrack, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uniform.Ops == r1.Ops && uniform.Hits == r1.Hits && uniform.SuccInserts == r1.SuccInserts {
+		t.Fatal("zipfian run indistinguishable from uniform; the skew is not wired in")
+	}
+}
+
+// TestZipfianConfigKeyDistinct: the distribution and its skew are part
+// of the content address, so skewed results never alias uniform ones in
+// the cache.
+func TestZipfianConfigKeyDistinct(t *testing.T) {
+	base := smokeCfg(StructList, SchemeStackTrack, 3)
+	zipf := base
+	zipf.KeyDist = KeyDistZipfian
+	steeper := zipf
+	steeper.ZipfTheta = 0.5
+
+	keys := map[string]string{}
+	for name, cfg := range map[string]Config{"uniform": base, "zipf-default": zipf, "zipf-0.5": steeper} {
+		k, err := ConfigKey(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for other, ok := range keys {
+			if ok == k {
+				t.Fatalf("%s and %s share a config key", name, other)
+			}
+		}
+		keys[name] = k
+	}
+}
+
+// TestBadKeyDistRejected: an unknown distribution is a configuration
+// error, not a silent fallback to uniform.
+func TestBadKeyDistRejected(t *testing.T) {
+	cfg := smokeCfg(StructList, SchemeStackTrack, 2)
+	cfg.KeyDist = "gaussian"
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("unknown key distribution was accepted")
+	}
+	cfg.KeyDist = KeyDistZipfian
+	cfg.ZipfTheta = 2.0
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("out-of-range theta was accepted")
+	}
+}

@@ -9,8 +9,11 @@ package cli
 import (
 	"context"
 	"errors"
+	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 )
 
@@ -46,4 +49,31 @@ func SignalContext() (context.Context, context.CancelFunc) {
 // shape a cancelled run surfaces — rather than a real failure.
 func Interrupted(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// SplitList splits a comma-separated flag value (-run E1a,E2b,
+// -workers http://a,http://b) into its whitespace-trimmed non-empty
+// items; an empty or all-comma value yields nil.
+func SplitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ParseIntList parses a comma-separated list of positive integers
+// (-threads 1,2,4,8); an empty value yields nil without error.
+func ParseIntList(s string) ([]int, error) {
+	var out []int
+	for _, p := range SplitList(s) {
+		n, err := strconv.Atoi(p)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad list entry %q: want a positive integer", p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }

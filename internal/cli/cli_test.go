@@ -1,0 +1,39 @@
+package cli
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSplitList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{",,,", nil},
+		{"E1a", []string{"E1a"}},
+		{"E1a,E2b", []string{"E1a", "E2b"}},
+		{" E1a , E2b ,", []string{"E1a", "E2b"}},
+	}
+	for _, c := range cases {
+		if got := SplitList(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("SplitList(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseIntList(t *testing.T) {
+	got, err := ParseIntList("1, 2,4,8")
+	if err != nil || !reflect.DeepEqual(got, []int{1, 2, 4, 8}) {
+		t.Fatalf("ParseIntList: got %v, %v", got, err)
+	}
+	if got, err := ParseIntList(""); err != nil || got != nil {
+		t.Fatalf("empty list: got %v, %v", got, err)
+	}
+	for _, bad := range []string{"0", "-1", "two", "1,2,x"} {
+		if _, err := ParseIntList(bad); err == nil {
+			t.Errorf("ParseIntList(%q) did not fail", bad)
+		}
+	}
+}

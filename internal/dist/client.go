@@ -1,0 +1,265 @@
+package dist
+
+// One worker of the fleet: a thin client over stserved's /v1 API plus
+// the coordinator's view of the worker's health and load. The client
+// never retries across workers — that is dispatch policy and lives in
+// the coordinator — but it does absorb a worker's own backpressure
+// (429 + Retry-After) by waiting and resubmitting to the same worker,
+// which is just the queue operating as designed.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"stacktrack/internal/serve"
+)
+
+// errPermanent wraps failures no retry can fix: the request is invalid
+// or the simulation itself failed deterministically. Retrying elsewhere
+// would reproduce the same answer.
+type errPermanent struct{ err error }
+
+func (e *errPermanent) Error() string { return e.err.Error() }
+func (e *errPermanent) Unwrap() error { return e.err }
+
+// permanent reports whether err is beyond retry.
+func permanent(err error) bool {
+	var p *errPermanent
+	return errors.As(err, &p)
+}
+
+// worker is one fleet member.
+type worker struct {
+	base string // http://host:port, no trailing slash
+
+	mu       sync.Mutex
+	healthy  bool
+	inflight int // jobs this coordinator currently has on the worker
+	load     int // queue_depth + workers_busy from the last stats poll
+	ejected  int // times the worker left the rotation
+}
+
+func newWorker(base string) *worker {
+	return &worker{base: strings.TrimRight(base, "/"), healthy: true}
+}
+
+// score orders dispatch candidates: local in-flight jobs dominate (they
+// are exact and current), the worker's own reported load breaks ties.
+func (w *worker) score() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.inflight*8 + w.load
+}
+
+func (w *worker) isHealthy() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.healthy
+}
+
+// setHealthy flips the worker's rotation state, counting ejections.
+func (w *worker) setHealthy(ok bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.healthy && !ok {
+		w.ejected++
+	}
+	w.healthy = ok
+}
+
+func (w *worker) setLoad(load int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.load = load
+}
+
+func (w *worker) acquire() { w.mu.Lock(); w.inflight++; w.mu.Unlock() }
+func (w *worker) release() { w.mu.Lock(); w.inflight--; w.mu.Unlock() }
+
+// checkHealth probes /v1/healthz and refreshes the load estimate from
+// /v1/stats; it returns whether the worker answered.
+func (w *worker) checkHealth(ctx context.Context, hc *http.Client) bool {
+	ctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.base+"/v1/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+
+	// Load is advisory — a worker that serves healthz but not stats
+	// stays in rotation with its last known load.
+	if req, err = http.NewRequestWithContext(ctx, http.MethodGet, w.base+"/v1/stats", nil); err == nil {
+		if resp, err := hc.Do(req); err == nil {
+			var stats struct {
+				Pool serve.PoolStats `json:"pool"`
+			}
+			if json.NewDecoder(resp.Body).Decode(&stats) == nil {
+				w.setLoad(stats.Pool.QueueDepth + stats.Pool.WorkersBusy)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+	return true
+}
+
+// pollEvery is the job-status poll cadence. Small, because shards on a
+// warm cache complete in milliseconds and the coordinator's latency
+// floor is one poll interval.
+const pollEvery = 15 * time.Millisecond
+
+// runJob submits req to this worker and sees it through to result
+// bytes: absorb 429 backpressure, poll to a terminal status, fetch the
+// result. Transport and 5xx errors come back plain (retryable); a
+// rejected request or a failed job comes back permanent.
+func (w *worker) runJob(ctx context.Context, hc *http.Client, req serve.JobRequest) ([]byte, error) {
+	id, err := w.submit(ctx, hc, req)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.await(ctx, hc, id); err != nil {
+		return nil, err
+	}
+	return w.result(ctx, hc, id)
+}
+
+// submit POSTs the job, waiting out 429s, and returns the job id.
+func (w *worker) submit(ctx context.Context, hc *http.Client, req serve.JobRequest) (string, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return "", &errPermanent{err}
+	}
+	for {
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, w.base+"/v1/jobs", bytes.NewReader(body))
+		if err != nil {
+			return "", &errPermanent{err}
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		resp, err := hc.Do(hreq)
+		if err != nil {
+			return "", fmt.Errorf("%s: submit: %w", w.base, err)
+		}
+		rb, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusAccepted, http.StatusOK:
+			var view serve.JobView
+			if err := json.Unmarshal(rb, &view); err != nil || view.ID == "" {
+				return "", fmt.Errorf("%s: submit: bad job view %q", w.base, rb)
+			}
+			return view.ID, nil
+		case http.StatusTooManyRequests:
+			// The worker's queue is full: wait what it asked for and
+			// resubmit. The per-shard timeout on ctx bounds the loop.
+			if err := sleepCtx(ctx, retryAfter(resp)); err != nil {
+				return "", err
+			}
+		case http.StatusBadRequest:
+			return "", &errPermanent{fmt.Errorf("%s: submit: %s", w.base, strings.TrimSpace(string(rb)))}
+		default:
+			return "", fmt.Errorf("%s: submit: status %d: %s", w.base, resp.StatusCode, strings.TrimSpace(string(rb)))
+		}
+	}
+}
+
+// await polls the job until it is done; failed and cancelled are errors
+// (failed permanently so — the simulation is deterministic, another
+// worker would fail identically).
+func (w *worker) await(ctx context.Context, hc *http.Client, id string) error {
+	for {
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, w.base+"/v1/jobs/"+id, nil)
+		if err != nil {
+			return &errPermanent{err}
+		}
+		resp, err := hc.Do(hreq)
+		if err != nil {
+			return fmt.Errorf("%s: status: %w", w.base, err)
+		}
+		rb, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s: status %s: %d: %s", w.base, id, resp.StatusCode, strings.TrimSpace(string(rb)))
+		}
+		var view serve.JobView
+		if err := json.Unmarshal(rb, &view); err != nil {
+			return fmt.Errorf("%s: status %s: %w", w.base, id, err)
+		}
+		switch view.Status {
+		case serve.StatusDone:
+			return nil
+		case serve.StatusFailed:
+			return &errPermanent{fmt.Errorf("%s: job %s failed: %s", w.base, id, view.Error)}
+		case serve.StatusCancelled:
+			// Cancelled on the worker (timeout, shutdown) — retryable.
+			return fmt.Errorf("%s: job %s cancelled: %s", w.base, id, view.Error)
+		}
+		if err := sleepCtx(ctx, pollEvery); err != nil {
+			return err
+		}
+	}
+}
+
+// result fetches the stored result bytes verbatim.
+func (w *worker) result(ctx context.Context, hc *http.Client, id string) ([]byte, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, w.base+"/v1/jobs/"+id+"/result", nil)
+	if err != nil {
+		return nil, &errPermanent{err}
+	}
+	resp, err := hc.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("%s: result: %w", w.base, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("%s: result: %w", w.base, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: result %s: status %d: %s", w.base, id, resp.StatusCode, strings.TrimSpace(string(b)))
+	}
+	return b, nil
+}
+
+// retryAfter parses a 429's Retry-After seconds, with a floor that
+// keeps a tight loop off the wire even when the header is absent.
+func retryAfter(resp *http.Response) time.Duration {
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
+			d := time.Duration(secs) * time.Second
+			if d > 0 {
+				return d
+			}
+		}
+	}
+	return 200 * time.Millisecond
+}
+
+// sleepCtx sleeps d or returns the context's error, whichever first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,475 @@
+package dist
+
+// The sweep coordinator: scatter an experiment sweep (or a
+// deterministic fuzz campaign) over a fleet of stserved workers,
+// gather the content-addressed partial results, and merge them into
+// the document a single node would have produced — byte for byte.
+//
+// Robustness model, borrowed from inference routers:
+//
+//   - health: a background loop probes /v1/healthz; workers that stop
+//     answering are ejected from dispatch and reinstated when they
+//     recover. /v1/stats rides along to refresh load estimates.
+//   - dispatch: least-loaded — locally tracked in-flight jobs first,
+//     the worker's own reported queue depth as tiebreak.
+//   - retries: failed shards are retried with exponential backoff and
+//     jitter, up to a bound; permanent failures (invalid request, a
+//     deterministically failing simulation) short-circuit, since every
+//     worker would reproduce them.
+//   - hedging: a shard with no result after HedgeAfter is also
+//     submitted to a second worker; first answer wins. Submissions are
+//     content-addressed, so a hedge landing on the same worker would
+//     coalesce with the original — the hedge therefore explicitly
+//     excludes the primary.
+//
+// Determinism makes all of this safe: a shard can run anywhere, twice,
+// or on two workers at once, and the bytes that come back are the same.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"stacktrack/internal/bench"
+	"stacktrack/internal/explore"
+	"stacktrack/internal/serve"
+)
+
+// Config shapes a Coordinator. Zero values get sensible defaults.
+type Config struct {
+	// Workers lists the fleet's base URLs (http://host:port).
+	Workers []string
+	// Client is the HTTP client to use (default: http.DefaultClient
+	// with no overall timeout — per-shard contexts bound every call).
+	Client *http.Client
+	// ShardTimeout bounds one shard attempt end to end (default 5m).
+	ShardTimeout time.Duration
+	// Retries is how many times a failed shard is re-dispatched after
+	// its first attempt (default 3).
+	Retries int
+	// Backoff is the base retry delay; attempt n waits about
+	// Backoff·2ⁿ⁻¹, jittered ±50% (default 100ms).
+	Backoff time.Duration
+	// HedgeAfter hedges a shard to a second worker when the first has
+	// produced nothing for this long; 0 disables hedging.
+	HedgeAfter time.Duration
+	// HealthEvery is the health-probe period (default 1s).
+	HealthEvery time.Duration
+	// Progress, when set, receives human-readable coordination events
+	// (dispatch, retries, hedges, ejections).
+	Progress io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Client == nil {
+		c.Client = http.DefaultClient
+	}
+	if c.ShardTimeout <= 0 {
+		c.ShardTimeout = 5 * time.Minute
+	}
+	if c.Retries == 0 {
+		c.Retries = 3
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 100 * time.Millisecond
+	}
+	if c.HealthEvery <= 0 {
+		c.HealthEvery = time.Second
+	}
+	return c
+}
+
+// Coordinator owns a worker fleet for the duration of a run.
+type Coordinator struct {
+	cfg     Config
+	workers []*worker
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	health   sync.WaitGroup
+
+	logMu sync.Mutex
+}
+
+// New builds a coordinator over the given fleet and starts its health
+// loop. Close releases it.
+func New(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Workers) == 0 {
+		return nil, errors.New("dist: no workers")
+	}
+	c := &Coordinator{cfg: cfg, stop: make(chan struct{})}
+	seen := map[string]bool{}
+	for _, base := range cfg.Workers {
+		base = strings.TrimSpace(base)
+		if base == "" {
+			continue
+		}
+		if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+			return nil, fmt.Errorf("dist: worker %q: need an http(s):// base URL", base)
+		}
+		if seen[base] {
+			return nil, fmt.Errorf("dist: worker %q listed twice", base)
+		}
+		seen[base] = true
+		c.workers = append(c.workers, newWorker(base))
+	}
+	if len(c.workers) == 0 {
+		return nil, errors.New("dist: no workers")
+	}
+	c.health.Add(1)
+	go c.healthLoop()
+	return c, nil
+}
+
+// Close stops the health loop. In-flight runs are unaffected (their
+// contexts govern them).
+func (c *Coordinator) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.health.Wait()
+}
+
+// healthLoop probes every worker on a fixed cadence, ejecting and
+// reinstating as answers come and go.
+func (c *Coordinator) healthLoop() {
+	defer c.health.Done()
+	probe := func() {
+		var wg sync.WaitGroup
+		for _, w := range c.workers {
+			wg.Add(1)
+			go func(w *worker) {
+				defer wg.Done()
+				ok := w.checkHealth(context.Background(), c.cfg.Client)
+				if ok != w.isHealthy() {
+					if ok {
+						c.logf("worker %s reinstated", w.base)
+					} else {
+						c.logf("worker %s ejected (healthz unreachable)", w.base)
+					}
+				}
+				w.setHealthy(ok)
+			}(w)
+		}
+		wg.Wait()
+	}
+	probe()
+	t := time.NewTicker(c.cfg.HealthEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			probe()
+		}
+	}
+}
+
+// pick chooses the least-loaded healthy worker, skipping exclude (the
+// hedge's primary). With every worker ejected it falls back to the
+// least-loaded worker regardless — the health loop may simply not have
+// noticed a recovery yet, and dispatching is how we find out.
+func (c *Coordinator) pick(exclude *worker) *worker {
+	var best *worker
+	bestScore := 0
+	consider := func(healthyOnly bool) {
+		for _, w := range c.workers {
+			if w == exclude || (healthyOnly && !w.isHealthy()) {
+				continue
+			}
+			if s := w.score(); best == nil || s < bestScore {
+				best, bestScore = w, s
+			}
+		}
+	}
+	consider(true)
+	if best == nil {
+		consider(false)
+	}
+	return best
+}
+
+// WorkerState is one fleet member's coordinator-side view.
+type WorkerState struct {
+	Base     string
+	Healthy  bool
+	Inflight int
+	Load     int
+	Ejected  int
+}
+
+// Workers snapshots the fleet state (logging, tests).
+func (c *Coordinator) Workers() []WorkerState {
+	out := make([]WorkerState, 0, len(c.workers))
+	for _, w := range c.workers {
+		w.mu.Lock()
+		out = append(out, WorkerState{
+			Base: w.base, Healthy: w.healthy,
+			Inflight: w.inflight, Load: w.load, Ejected: w.ejected,
+		})
+		w.mu.Unlock()
+	}
+	return out
+}
+
+// runJob sees one job through somewhere on the fleet: dispatch
+// least-loaded, hedge stragglers, retry failures with backoff.
+func (c *Coordinator) runJob(ctx context.Context, req serve.JobRequest, label string) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if attempt > 0 {
+			c.logf("%s: retry %d/%d after: %v", label, attempt, c.cfg.Retries, lastErr)
+			if err := sleepCtx(ctx, backoffDelay(c.cfg.Backoff, attempt)); err != nil {
+				return nil, err
+			}
+		}
+		b, err := c.attempt(ctx, req, label)
+		if err == nil {
+			return b, nil
+		}
+		if permanent(err) {
+			return nil, err
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("dist: %s: giving up after %d attempts: %w", label, c.cfg.Retries+1, lastErr)
+}
+
+// attempt is one dispatch round: primary worker, plus a hedge to a
+// different worker if the primary is slow. First success wins; the
+// losing submission is left to finish (or die) on its worker — it is
+// content-addressed, so at worst it warms a cache.
+func (c *Coordinator) attempt(ctx context.Context, req serve.JobRequest, label string) ([]byte, error) {
+	actx, cancel := context.WithTimeout(ctx, c.cfg.ShardTimeout)
+	defer cancel()
+
+	type outcome struct {
+		b   []byte
+		err error
+		w   *worker
+	}
+	ch := make(chan outcome, 2) // buffered: late finishers must not block
+	launch := func(w *worker) {
+		w.acquire()
+		go func() {
+			defer w.release()
+			b, err := w.runJob(actx, c.cfg.Client, req)
+			if err != nil && !permanent(err) && actx.Err() == nil {
+				// Transport-level trouble while the attempt was still
+				// live: eject now rather than waiting for the next
+				// health probe to notice.
+				if w.isHealthy() {
+					c.logf("worker %s ejected (%v)", w.base, err)
+				}
+				w.setHealthy(false)
+			}
+			ch <- outcome{b, err, w}
+		}()
+	}
+
+	primary := c.pick(nil)
+	if primary == nil {
+		return nil, errors.New("dist: no workers available")
+	}
+	launch(primary)
+	outstanding := 1
+
+	var hedge <-chan time.Time
+	if c.cfg.HedgeAfter > 0 && len(c.workers) > 1 {
+		t := time.NewTimer(c.cfg.HedgeAfter)
+		defer t.Stop()
+		hedge = t.C
+	}
+
+	var lastErr error
+	for {
+		select {
+		case o := <-ch:
+			outstanding--
+			if o.err == nil {
+				return o.b, nil
+			}
+			if permanent(o.err) {
+				// Deterministic failure: the other copy would fail
+				// identically, don't wait for it.
+				return nil, o.err
+			}
+			lastErr = o.err
+			if outstanding == 0 {
+				return nil, lastErr
+			}
+		case <-hedge:
+			hedge = nil
+			if w := c.pick(primary); w != nil {
+				c.logf("%s: hedging to %s (no result after %s)", label, w.base, c.cfg.HedgeAfter)
+				launch(w)
+				outstanding++
+			}
+		case <-actx.Done():
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			return nil, fmt.Errorf("dist: %s: attempt timed out after %s", label, c.cfg.ShardTimeout)
+		}
+	}
+}
+
+// RunExperiments runs the named experiments sharded across the fleet
+// and returns the merged document — byte-identical to a single-node
+// `stbench -json` run over the same experiments and options.
+func (c *Coordinator) RunExperiments(ctx context.Context, names []string, so *serve.SweepOptions) ([]byte, error) {
+	type sweep struct {
+		e    *bench.Experiment
+		plan [][]int
+	}
+	o := so.BenchOptions()
+	sweeps := make([]sweep, 0, len(names))
+	for _, name := range names {
+		e := bench.FindExperiment(name)
+		if e == nil {
+			return nil, fmt.Errorf("dist: unknown experiment %q", name)
+		}
+		sweeps = append(sweeps, sweep{e: e, plan: bench.ShardPlan(e, o)})
+	}
+
+	doc := &rawResults{Schema: bench.SchemaVersion}
+	for _, sw := range sweeps {
+		c.logf("%s: dispatching %d shards across %d workers", sw.e.ID, len(sw.plan), len(c.workers))
+		docs := make([]*rawExperiment, len(sw.plan))
+		errs := make([]error, len(sw.plan))
+		var wg sync.WaitGroup
+		for i := range sw.plan {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				req := serve.JobRequest{
+					Kind:       serve.KindPoint,
+					Experiment: sw.e.ID,
+					Options:    so,
+					Shard:      sw.plan[i],
+				}
+				label := fmt.Sprintf("%s%v", sw.e.ID, sw.plan[i])
+				b, err := c.runJob(ctx, req, label)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				docs[i], errs[i] = parseShardDoc(b)
+			}(i)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		merged, err := mergeShards(docs)
+		if err != nil {
+			return nil, err
+		}
+		doc.Experiments = append(doc.Experiments, merged)
+	}
+	return marshalDoc(doc)
+}
+
+// RunExplore runs a deterministic fuzz campaign sharded into seed
+// ranges and merges the shard outcomes back into the document a
+// single-node explore job over the full range would produce (sequential
+// stop-on-first-failure semantics, reconstructed arithmetically — see
+// explore.MergeSeedShards).
+func (c *Coordinator) RunExplore(ctx context.Context, spec serve.ExploreSpec, shards int) ([]byte, error) {
+	if !spec.Deterministic() {
+		return nil, errors.New("dist: only deterministic campaigns (single worker, max_runs bound, no wall budget) can be distributed")
+	}
+	cfg := spec.Config.WithDefaults()
+	ranges := explore.ShardSeeds(cfg.Seed, spec.MaxRuns, shards)
+	c.logf("explore: dispatching %d seed-range shards across %d workers", len(ranges), len(c.workers))
+
+	outcomes := make([]explore.ShardOutcome, len(ranges))
+	errs := make([]error, len(ranges))
+	var wg sync.WaitGroup
+	for i := range ranges {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			shardCfg := cfg
+			shardCfg.Seed = ranges[i].First
+			req := serve.JobRequest{
+				Kind: serve.KindExplore,
+				Explore: &serve.ExploreSpec{
+					Config:  shardCfg,
+					Workers: 1,
+					MaxRuns: ranges[i].Runs,
+				},
+			}
+			label := fmt.Sprintf("explore[%d+%d]", ranges[i].First, ranges[i].Runs)
+			b, err := c.runJob(ctx, req, label)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			var res serve.ExploreResultJSON
+			if err := json.Unmarshal(b, &res); err != nil {
+				errs[i] = fmt.Errorf("dist: %s result: %w", label, err)
+				return
+			}
+			outcomes[i] = explore.ShardOutcome{Failed: res.Failed, Seed: res.Seed, Verdict: res.Verdict}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	runs, failure := explore.MergeSeedShards(cfg.Seed, spec.MaxRuns, outcomes)
+	out := &serve.ExploreResultJSON{
+		Schema: bench.SchemaVersion,
+		Kind:   serve.KindExplore,
+		Config: cfg,
+		Runs:   runs,
+	}
+	if failure != nil {
+		out.Failed = true
+		out.Seed = failure.Seed
+		out.Verdict = failure.Verdict
+	}
+	return marshalDoc(out)
+}
+
+// backoffDelay is attempt n's retry delay: base·2ⁿ⁻¹ jittered to
+// 50–150%, capped at 5s. Jitter keeps a fleet-wide failure from
+// re-dispatching every shard in lockstep.
+func backoffDelay(base time.Duration, attempt int) time.Duration {
+	d := base << (attempt - 1)
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	return time.Duration(float64(d) * (0.5 + rand.Float64()))
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Progress == nil {
+		return
+	}
+	c.logMu.Lock()
+	defer c.logMu.Unlock()
+	fmt.Fprintf(c.cfg.Progress, "dist: "+format+"\n", args...)
+}

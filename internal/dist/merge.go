@@ -1,0 +1,105 @@
+package dist
+
+// Byte-identical merge of shard documents. The whole point of the
+// coordinator is that a distributed run is provably equivalent to a
+// single-node run, and "provably" here is spelled cmp(1): the merged
+// document must equal the single-node document byte for byte.
+//
+// That rules out decoding worker results into typed structs and
+// re-marshaling — a float that re-marshals differently, a field added
+// on one side but not the other, and the proof silently weakens to
+// "approximately equal". Instead the merge keeps every worker-produced
+// leaf as raw JSON: points are spliced verbatim, in shard-plan order,
+// into a skeleton that mirrors bench.ResultsJSON field for field.
+// encoding/json's MarshalIndent compacts and re-indents RawMessage
+// leaves exactly as it would lay out freshly marshaled structs at the
+// same depth, so the only bytes the coordinator is responsible for are
+// object braces and keys — which mirror the single-node encoder's by
+// construction.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// rawExperiment mirrors bench.ExperimentJSON — same fields, same order,
+// same tags — with worker-produced subtrees kept raw.
+type rawExperiment struct {
+	Schema  int               `json:"schema"`
+	Name    string            `json:"name"`
+	ID      string            `json:"id,omitempty"`
+	Title   string            `json:"title,omitempty"`
+	Options json.RawMessage   `json:"options"`
+	Points  []json.RawMessage `json:"points"`
+}
+
+// rawResults mirrors bench.ResultsJSON.
+type rawResults struct {
+	Schema      int              `json:"schema"`
+	Experiments []*rawExperiment `json:"experiments"`
+}
+
+// parseShardDoc decodes one worker's point-job result: a ResultsJSON
+// holding exactly one experiment.
+func parseShardDoc(b []byte) (*rawExperiment, error) {
+	var doc rawResults
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return nil, fmt.Errorf("dist: shard result: %w", err)
+	}
+	if len(doc.Experiments) != 1 {
+		return nil, fmt.Errorf("dist: shard result holds %d experiments, want 1", len(doc.Experiments))
+	}
+	return doc.Experiments[0], nil
+}
+
+// mergeShards splices shard documents (in shard-plan order) into the
+// full experiment document. Everything except the point lists must
+// agree across shards — each shard ran the same sweep, restricted to
+// different thread counts — and disagreement means the shards were not
+// produced by equivalent workers, which is worth failing loudly over
+// rather than merging garbage.
+func mergeShards(shards []*rawExperiment) (*rawExperiment, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("dist: no shard documents to merge")
+	}
+	out := &rawExperiment{
+		Schema:  shards[0].Schema,
+		Name:    shards[0].Name,
+		ID:      shards[0].ID,
+		Title:   shards[0].Title,
+		Options: shards[0].Options,
+	}
+	for i, sh := range shards {
+		if sh.Schema != out.Schema || sh.Name != out.Name || sh.ID != out.ID || sh.Title != out.Title {
+			return nil, fmt.Errorf("dist: shard %d header (%s/%s schema %d) disagrees with shard 0 (%s/%s schema %d)",
+				i, sh.Name, sh.Title, sh.Schema, out.Name, out.Title, out.Schema)
+		}
+		if !jsonEqual(sh.Options, out.Options) {
+			return nil, fmt.Errorf("dist: shard %d ran under different options:\n%s\nvs\n%s", i, sh.Options, out.Options)
+		}
+		out.Points = append(out.Points, sh.Points...)
+	}
+	return out, nil
+}
+
+// jsonEqual compares two raw messages modulo whitespace (shard bodies
+// arrive indented; indentation depends on nesting, not content).
+func jsonEqual(a, b json.RawMessage) bool {
+	var ca, cb bytes.Buffer
+	if json.Compact(&ca, a) != nil || json.Compact(&cb, b) != nil {
+		return false
+	}
+	return bytes.Equal(ca.Bytes(), cb.Bytes())
+}
+
+// marshalDoc lays the merged document out exactly as the single-node
+// writers do: two-space MarshalIndent plus a trailing newline
+// (bench.WriteResultsJSON, serve's result marshaling).
+func marshalDoc(v any) ([]byte, error) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

@@ -1,0 +1,101 @@
+package explore
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// TestShardSeedsPartition: the shards tile the seed range exactly —
+// contiguous, in order, no gaps or overlap — for a spread of shapes.
+func TestShardSeedsPartition(t *testing.T) {
+	for _, tc := range []struct {
+		first        uint64
+		runs, shards int
+		wantShards   int
+	}{
+		{1, 100, 4, 4},
+		{1, 7, 3, 3}, // uneven: 3+2+2
+		{1, 3, 8, 3}, // more shards than seeds: one seed each
+		{42, 1, 1, 1},
+		{7, 5, 0, 1}, // shards < 1 clamps to 1
+	} {
+		got := ShardSeeds(tc.first, tc.runs, tc.shards)
+		if len(got) != tc.wantShards {
+			t.Fatalf("ShardSeeds(%d,%d,%d) = %v, want %d shards", tc.first, tc.runs, tc.shards, got, tc.wantShards)
+		}
+		next, total := tc.first, 0
+		for _, r := range got {
+			if r.First != next || r.Runs <= 0 {
+				t.Fatalf("ShardSeeds(%d,%d,%d) = %v: not a contiguous tiling", tc.first, tc.runs, tc.shards, got)
+			}
+			next += uint64(r.Runs)
+			total += r.Runs
+		}
+		if total != tc.runs {
+			t.Fatalf("ShardSeeds(%d,%d,%d) covers %d seeds, want %d", tc.first, tc.runs, tc.shards, total, tc.runs)
+		}
+	}
+	if got := ShardSeeds(1, 0, 4); got != nil {
+		t.Fatalf("empty range sharded to %v", got)
+	}
+}
+
+// TestMergeSeedShardsMatchesSequential: for every possible failing seed
+// (and the all-pass case), running the range as shards and merging gives
+// exactly the runs/failure a single sequential campaign reports.
+func TestMergeSeedShardsMatchesSequential(t *testing.T) {
+	const first, maxRuns = 10, 12
+
+	sequential := func(failAt uint64) (int, *Failure) {
+		res, err := campaign(context.Background(), 1, Budget{MaxRuns: maxRuns}, first, nil,
+			func(seed uint64) (*Outcome, error) {
+				out := &Outcome{Log: &Log{}}
+				if seed == failAt {
+					out.Verdict = Verdict{Failed: true, Oracle: "stub"}
+				}
+				return out, nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Runs, res.Failure
+	}
+
+	sharded := func(failAt uint64) (int, *ShardOutcome) {
+		var outcomes []ShardOutcome
+		for _, r := range ShardSeeds(first, maxRuns, 5) {
+			o := ShardOutcome{}
+			for s := r.First; s < r.First+uint64(r.Runs); s++ {
+				if s == failAt {
+					o = ShardOutcome{Failed: true, Seed: s, Verdict: "stub"}
+					break // shard campaign stops at its first failure
+				}
+			}
+			outcomes = append(outcomes, o)
+		}
+		return MergeSeedShards(first, maxRuns, outcomes)
+	}
+
+	for failAt := uint64(first); failAt < first+maxRuns; failAt++ {
+		t.Run(fmt.Sprintf("fail@%d", failAt), func(t *testing.T) {
+			seqRuns, seqFail := sequential(failAt)
+			mergedRuns, mergedFail := sharded(failAt)
+			if mergedRuns != seqRuns {
+				t.Fatalf("merged runs %d, sequential %d", mergedRuns, seqRuns)
+			}
+			if seqFail == nil || mergedFail == nil {
+				t.Fatalf("failure lost: sequential %v, merged %v", seqFail, mergedFail)
+			}
+			if mergedFail.Seed != seqFail.Seed {
+				t.Fatalf("merged failing seed %d, sequential %d", mergedFail.Seed, seqFail.Seed)
+			}
+		})
+	}
+
+	seqRuns, seqFail := sequential(first + maxRuns + 100) // never fails in range
+	mergedRuns, mergedFail := sharded(first + maxRuns + 100)
+	if mergedRuns != seqRuns || seqFail != nil || mergedFail != nil {
+		t.Fatalf("all-pass: merged (%d, %v), sequential (%d, %v)", mergedRuns, mergedFail, seqRuns, seqFail)
+	}
+}

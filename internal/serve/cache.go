@@ -12,6 +12,7 @@ import (
 	"container/list"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 )
@@ -19,13 +20,15 @@ import (
 // Cache is a two-tier (memory LRU + optional disk) byte store keyed by
 // content address. Safe for concurrent use.
 type Cache struct {
-	mu      sync.Mutex
-	max     int // max in-memory entries; <= 0 disables the memory tier
-	lru     *list.List
-	entries map[string]*list.Element
-	dir     string // disk tier root; "" disables it
+	mu           sync.Mutex
+	max          int // max in-memory entries; <= 0 disables the memory tier
+	lru          *list.List
+	entries      map[string]*list.Element
+	dir          string // disk tier root; "" disables it
+	maxDiskBytes int64  // disk tier byte budget; <= 0 means unbounded
+	diskBytes    int64  // last accounted size of the disk tier
 
-	hits, misses, diskHits, evictions, diskErrors uint64
+	hits, misses, diskHits, evictions, diskErrors, diskPrunes uint64
 }
 
 type cacheEntry struct {
@@ -45,6 +48,11 @@ type CacheStats struct {
 	// serving from memory; a broken disk store never fails a job).
 	DiskErrors uint64 `json:"disk_errors,omitempty"`
 	Disk       bool   `json:"disk"`
+	// Disk budget accounting: bytes currently on disk (as of the last
+	// write), the configured cap, and how many files the cap has pruned.
+	DiskBytes    int64  `json:"disk_bytes,omitempty"`
+	DiskMaxBytes int64  `json:"disk_max_bytes,omitempty"`
+	DiskPrunes   uint64 `json:"disk_prunes,omitempty"`
 }
 
 // NewCache builds a cache holding up to maxEntries results in memory,
@@ -56,6 +64,17 @@ func NewCache(maxEntries int, dir string) *Cache {
 		entries: make(map[string]*list.Element),
 		dir:     dir,
 	}
+}
+
+// SetDiskLimit caps the disk tier at maxBytes. Once a write pushes the
+// tier over the cap, the oldest files (by modification time) are pruned
+// until it fits again; the entry just written is never the oldest, so a
+// fresh result always survives its own prune. maxBytes <= 0 removes the
+// cap.
+func (c *Cache) SetDiskLimit(maxBytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.maxDiskBytes = maxBytes
 }
 
 // path maps a key to its disk file. Keys are hex digests, so they are
@@ -117,7 +136,59 @@ func (c *Cache) Put(key string, val []byte) {
 	}
 	if err := os.Rename(tmp, p); err != nil {
 		c.diskErrors++
+		return
 	}
+	c.pruneDiskLocked()
+}
+
+// pruneDiskLocked re-measures the disk tier and, when a byte cap is set
+// and exceeded, deletes the oldest files (by mtime) until the tier fits.
+// Runs under c.mu after every successful disk write.
+func (c *Cache) pruneDiskLocked() {
+	ents, err := os.ReadDir(c.dir)
+	if err != nil {
+		c.diskErrors++
+		return
+	}
+	type diskFile struct {
+		path  string
+		size  int64
+		mtime int64
+	}
+	var files []diskFile
+	var total int64
+	for _, ent := range ents {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".json") {
+			continue
+		}
+		info, err := ent.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, diskFile{
+			path:  filepath.Join(c.dir, ent.Name()),
+			size:  info.Size(),
+			mtime: info.ModTime().UnixNano(),
+		})
+		total += info.Size()
+	}
+	c.diskBytes = total
+	if c.maxDiskBytes <= 0 || total <= c.maxDiskBytes {
+		return
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mtime < files[j].mtime })
+	for _, f := range files {
+		if total <= c.maxDiskBytes {
+			break
+		}
+		if err := os.Remove(f.path); err != nil {
+			c.diskErrors++
+			continue
+		}
+		total -= f.size
+		c.diskPrunes++
+	}
+	c.diskBytes = total
 }
 
 func (c *Cache) putLocked(key string, val []byte) {
@@ -143,13 +214,16 @@ func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Entries:    c.lru.Len(),
-		MaxSize:    c.max,
-		Hits:       c.hits,
-		Misses:     c.misses,
-		DiskHits:   c.diskHits,
-		Evictions:  c.evictions,
-		DiskErrors: c.diskErrors,
-		Disk:       c.dir != "",
+		Entries:      c.lru.Len(),
+		MaxSize:      c.max,
+		Hits:         c.hits,
+		Misses:       c.misses,
+		DiskHits:     c.diskHits,
+		Evictions:    c.evictions,
+		DiskErrors:   c.diskErrors,
+		Disk:         c.dir != "",
+		DiskBytes:    c.diskBytes,
+		DiskMaxBytes: c.maxDiskBytes,
+		DiskPrunes:   c.diskPrunes,
 	}
 }

@@ -18,6 +18,12 @@ import (
 const (
 	KindExperiment = "experiment"
 	KindExplore    = "explore"
+	// KindPoint runs a shard of an experiment sweep: the named
+	// experiment restricted to the thread counts in Shard. The document
+	// is bit-identical to the matching slice of the full sweep, which is
+	// what lets the distributed coordinator (internal/dist) scatter a
+	// sweep across workers and splice the pieces back together.
+	KindPoint = "point"
 )
 
 // Job statuses.
@@ -32,13 +38,17 @@ const (
 // JobRequest is the POST /v1/jobs body.
 type JobRequest struct {
 	// Kind selects the work: "experiment" (default when Experiment is
-	// set) or "explore".
+	// set), "point" (default when Shard is also set), or "explore".
 	Kind string `json:"kind,omitempty"`
 
 	// Experiment names a registered experiment (long name, ID, or
 	// alias — bench.FindExperiment's resolution rules).
 	Experiment string        `json:"experiment,omitempty"`
 	Options    *SweepOptions `json:"options,omitempty"`
+
+	// Shard restricts the experiment's sweep to these thread counts
+	// (kind "point"; implied when set alongside Experiment).
+	Shard []int `json:"shard,omitempty"`
 
 	// Explore describes a fuzz campaign.
 	Explore *ExploreSpec `json:"explore,omitempty"`
@@ -77,9 +87,9 @@ type ExploreSpec struct {
 	WallMs  int64             `json:"wall_ms,omitempty"`
 }
 
-// deterministic reports whether the campaign's outcome is a pure
+// Deterministic reports whether the campaign's outcome is a pure
 // function of the spec (see ExploreSpec).
-func (sp *ExploreSpec) deterministic() bool {
+func (sp *ExploreSpec) Deterministic() bool {
 	return sp.Workers <= 1 && sp.MaxRuns > 0 && sp.WallMs == 0
 }
 
@@ -144,6 +154,9 @@ func (r JobRequest) kind() string {
 	}
 	if r.Explore != nil {
 		return KindExplore
+	}
+	if len(r.Shard) > 0 {
+		return KindPoint
 	}
 	return KindExperiment
 }

@@ -1,10 +1,12 @@
 package serve
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -112,6 +114,45 @@ func TestCacheDiskTier(t *testing.T) {
 	c2.Put("../escape", []byte("x"))
 	if _, err := os.Stat(filepath.Join(dir, "..", "escape.json")); err == nil {
 		t.Fatal("path traversal escaped the cache dir")
+	}
+}
+
+// TestCacheDiskByteBudget: with a byte cap set, writes beyond the cap
+// prune the oldest files first and the prunes show up in the stats.
+func TestCacheDiskByteBudget(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCache(8, dir)
+	c.SetDiskLimit(30) // three 10-byte results fit, the fourth prunes
+
+	payload := []byte("0123456789")
+	keys := []string{"aaaa", "bbbb", "cccc"}
+	for i, k := range keys {
+		c.Put(k, payload)
+		// Deterministic age order regardless of filesystem timestamp
+		// granularity: aaaa oldest, cccc newest.
+		old := time.Now().Add(time.Duration(i-10) * time.Hour)
+		if err := os.Chtimes(filepath.Join(dir, k+".json"), old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Put("dddd", payload) // 40 bytes on disk: prune until <= 30
+
+	if _, err := os.Stat(filepath.Join(dir, "aaaa.json")); !os.IsNotExist(err) {
+		t.Fatalf("oldest file survived the prune: %v", err)
+	}
+	for _, k := range []string{"bbbb", "cccc", "dddd"} {
+		if _, err := os.Stat(filepath.Join(dir, k+".json")); err != nil {
+			t.Fatalf("%s.json should have survived: %v", k, err)
+		}
+	}
+	st := c.Stats()
+	if st.DiskPrunes != 1 || st.DiskBytes != 30 || st.DiskMaxBytes != 30 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// The pruned entry is still served from memory; a re-Put restores it
+	// to disk (pruning something else).
+	if v, ok := c.Get("aaaa"); !ok || string(v) != "0123456789" {
+		t.Fatalf("memory tier lost the pruned entry: %q, %v", v, ok)
 	}
 }
 
@@ -456,6 +497,79 @@ func TestStreamNDJSON(t *testing.T) {
 	want := []string{"queued", "started", "progress", "progress", "done"}
 	if strings.Join(kinds, ",") != strings.Join(want, ",") {
 		t.Fatalf("event stream = %v, want %v", kinds, want)
+	}
+}
+
+// TestStreamClientDisconnectDoesNotCancelJob: a follower dropping the
+// NDJSON stream mid-job is a spectator leaving, not a cancellation —
+// the job runs to completion and its result stays fetchable.
+func TestStreamClientDisconnectDoesNotCancelJob(t *testing.T) {
+	release := make(chan struct{})
+	srv := newTestServer(PoolConfig{Workers: 1, QueueDepth: 4}, nil,
+		func(ctx context.Context, job *Job) ([]byte, error) {
+			job.progress("point 1 done")
+			select {
+			case <-release:
+				return []byte(`{"ok": true}` + "\n"), nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	_, view := postJob(t, ts, `{"experiment": "E1a"}`)
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		if srv.pool.Job(view.ID).Status() == StatusRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never started: %s", srv.pool.Job(view.ID).Status())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Follow the stream just long enough to prove it is live, then hang
+	// up mid-job without reading to the end.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + view.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(resp.Body)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatalf("first stream line: %v", err)
+	}
+	var ev Event
+	if err := json.Unmarshal([]byte(line), &ev); err != nil {
+		t.Fatalf("bad NDJSON line %q: %v", line, err)
+	}
+	resp.Body.Close() // abrupt client disconnect
+
+	// The job must neither cancel nor wedge: let it finish and fetch
+	// the result as if the disconnect never happened.
+	close(release)
+	waitStatus(t, srv.pool, view.ID, StatusDone)
+	res, err := http.Get(ts.URL + "/v1/jobs/" + view.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	body, _ := io.ReadAll(res.Body)
+	if res.StatusCode != http.StatusOK || string(body) != `{"ok": true}`+"\n" {
+		t.Fatalf("result after stream disconnect: status %d, body %q", res.StatusCode, body)
+	}
+	// A fresh follower still sees the full event history, done included.
+	resp2, err := http.Get(ts.URL + "/v1/jobs/" + view.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp2.Body)
+	if !strings.Contains(buf.String(), `"done"`) {
+		t.Fatalf("replayed stream lacks the done event:\n%s", buf.String())
 	}
 }
 

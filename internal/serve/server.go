@@ -95,18 +95,20 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 func validate(req JobRequest) (key string, err error) {
 	switch req.kind() {
 	case KindExperiment:
-		if req.Experiment == "" {
-			return "", errors.New("experiment jobs need an \"experiment\" name")
+		e, err := findExperiment(req)
+		if err != nil {
+			return "", err
 		}
-		e := bench.FindExperiment(req.Experiment)
-		if e == nil {
-			msg := fmt.Sprintf("unknown experiment %q", req.Experiment)
-			if sug := bench.SuggestExperiments(req.Experiment); len(sug) > 0 {
-				msg += "; did you mean " + sug[0].Name
-			}
-			return "", errors.New(msg)
+		return bench.ExperimentKey(e, req.Options.BenchOptions())
+	case KindPoint:
+		e, err := findExperiment(req)
+		if err != nil {
+			return "", err
 		}
-		return bench.ExperimentKey(e, req.Options.benchOptions())
+		if len(req.Shard) == 0 {
+			return "", errors.New("point jobs need a non-empty \"shard\"")
+		}
+		return bench.ShardKey(e, req.Options.BenchOptions(), req.Shard)
 	case KindExplore:
 		if req.Explore == nil {
 			return "", errors.New("explore jobs need an \"explore\" spec")
@@ -114,7 +116,7 @@ func validate(req JobRequest) (key string, err error) {
 		if _, err := explore.NewStrategy(req.Explore.Config.WithDefaults()); err != nil {
 			return "", err
 		}
-		if !req.Explore.deterministic() {
+		if !req.Explore.Deterministic() {
 			// Racing workers or wall-clock budgets make the outcome a
 			// function of the host, not the spec: always recompute.
 			return "", nil
@@ -129,9 +131,26 @@ func validate(req JobRequest) (key string, err error) {
 	}
 }
 
-// benchOptions maps the wire options onto bench.Options (host-side
+// findExperiment resolves the request's experiment name, suggesting
+// near-misses on failure.
+func findExperiment(req JobRequest) (*bench.Experiment, error) {
+	if req.Experiment == "" {
+		return nil, errors.New("experiment jobs need an \"experiment\" name")
+	}
+	e := bench.FindExperiment(req.Experiment)
+	if e == nil {
+		msg := fmt.Sprintf("unknown experiment %q", req.Experiment)
+		if sug := bench.SuggestExperiments(req.Experiment); len(sug) > 0 {
+			msg += "; did you mean " + sug[0].Name
+		}
+		return nil, errors.New(msg)
+	}
+	return e, nil
+}
+
+// BenchOptions maps the wire options onto bench.Options (host-side
 // fields — Progress, Collect, Ctx — are installed by the executor).
-func (so *SweepOptions) benchOptions() bench.Options {
+func (so *SweepOptions) BenchOptions() bench.Options {
 	var o bench.Options
 	if so == nil {
 		return o
@@ -167,10 +186,26 @@ func execute(ctx context.Context, job *Job) ([]byte, error) {
 		if e == nil {
 			return nil, fmt.Errorf("unknown experiment %q", req.Experiment)
 		}
-		o := req.Options.benchOptions()
+		o := req.Options.BenchOptions()
 		o.Ctx = ctx
 		o.Progress = &progressWriter{job: job}
 		doc, _, err := bench.RunExperimentJSON(e, o)
+		if err != nil {
+			return nil, err
+		}
+		return marshalResult(&bench.ResultsJSON{
+			Schema:      bench.SchemaVersion,
+			Experiments: []*bench.ExperimentJSON{doc},
+		})
+	case KindPoint:
+		e := bench.FindExperiment(req.Experiment)
+		if e == nil {
+			return nil, fmt.Errorf("unknown experiment %q", req.Experiment)
+		}
+		o := req.Options.BenchOptions()
+		o.Ctx = ctx
+		o.Progress = &progressWriter{job: job}
+		doc, err := bench.RunExperimentShard(e, o, req.Shard)
 		if err != nil {
 			return nil, err
 		}

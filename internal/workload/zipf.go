@@ -1,0 +1,87 @@
+package workload
+
+// Zipfian key skew. Real key-value workloads are rarely uniform: a
+// small hot set absorbs most operations, which concentrates contention
+// (and, for the reclamation schemes under test, concentrates frees and
+// re-allocations on the same nodes). The generator follows Gray et
+// al.'s "Quickly Generating Billion-Record Synthetic Databases"
+// rejection-free construction, the same one YCSB uses: O(n) setup to
+// compute the harmonic normalizer, O(1) per draw.
+//
+// Ranks map to keys directly — rank 1 (the hottest) is key 1 — so the
+// hot set is a contiguous prefix of the key range. That is deliberate:
+// in the sorted structures (list, skip list) it pins contention to the
+// front of the structure, the worst case for traversal-heavy schemes.
+
+import (
+	"fmt"
+	"math"
+
+	"stacktrack/internal/rng"
+)
+
+// DefaultZipfTheta is the skew used when a Zipfian workload does not
+// specify one — YCSB's default, where the hottest ~20% of keys draw
+// ~80% of operations.
+const DefaultZipfTheta = 0.99
+
+// Zipf draws keys in [1, n] with P(k) proportional to 1/k^theta.
+// Construct with NewZipf; the zero value is not usable.
+type Zipf struct {
+	n     uint64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+}
+
+// NewZipf precomputes the generator state for n keys with skew theta in
+// (0, 1). It panics on a non-positive n or an out-of-range theta (a
+// configuration bug, caught earlier by Config validation).
+func NewZipf(n uint64, theta float64) *Zipf {
+	if n == 0 {
+		panic("workload: Zipf over an empty key range")
+	}
+	if theta <= 0 || theta >= 1 {
+		panic(fmt.Sprintf("workload: Zipf theta %v outside (0, 1)", theta))
+	}
+	zetan := zeta(n, theta)
+	z := &Zipf{
+		n:     n,
+		theta: theta,
+		alpha: 1 / (1 - theta),
+		zetan: zetan,
+	}
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta(2, theta)/zetan)
+	return z
+}
+
+// zeta is the truncated Riemann zeta: sum_{i=1..n} 1/i^theta.
+func zeta(n uint64, theta float64) float64 {
+	var sum float64
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next draws the next key in [1, z.n]. Deterministic given r's state:
+// one Float64 per draw, so the same seed yields the same key sequence.
+func (z *Zipf) Next(r *rng.Rand) uint64 {
+	u := r.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 1
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 2
+	}
+	k := 1 + uint64(float64(z.n)*math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if k > z.n { // float roundoff at u ~ 1
+		k = z.n
+	}
+	return k
+}
+
+// N returns the key-range size the generator was built for.
+func (z *Zipf) N() uint64 { return z.n }

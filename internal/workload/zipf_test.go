@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"testing"
+
+	"stacktrack/internal/rng"
+)
+
+// TestZipfDeterminism: the generator is a pure function of the rng
+// state — same seed, same key sequence, across independent generator
+// instances.
+func TestZipfDeterminism(t *testing.T) {
+	const n, draws = 10_000, 5_000
+	z1, z2 := NewZipf(n, 0.99), NewZipf(n, 0.99)
+	r1, r2 := rng.New(42), rng.New(42)
+	for i := 0; i < draws; i++ {
+		a, b := z1.Next(r1), z2.Next(r2)
+		if a != b {
+			t.Fatalf("draw %d diverged: %d vs %d", i, a, b)
+		}
+		if a < 1 || a > n {
+			t.Fatalf("draw %d out of range: %d", i, a)
+		}
+	}
+	// A different seed yields a different sequence.
+	z3, r3 := NewZipf(n, 0.99), rng.New(43)
+	r4 := rng.New(42)
+	same := 0
+	for i := 0; i < draws; i++ {
+		if z3.Next(r3) == z1.Next(r4) {
+			same++
+		}
+	}
+	if same == draws {
+		t.Fatal("seeds 42 and 43 produced identical sequences")
+	}
+}
+
+// TestZipfSkew: the hot prefix dominates — with theta 0.99 over 10k
+// keys, the top 1% of keys should absorb well over a third of draws
+// (the true mass is ~60%), and key 1 must be the single hottest key.
+func TestZipfSkew(t *testing.T) {
+	const n, draws = 10_000, 200_000
+	z := NewZipf(n, 0.99)
+	r := rng.New(7)
+	counts := make(map[uint64]int)
+	hot := 0
+	for i := 0; i < draws; i++ {
+		k := z.Next(r)
+		counts[k]++
+		if k <= n/100 {
+			hot++
+		}
+	}
+	if frac := float64(hot) / draws; frac < 0.35 {
+		t.Fatalf("top 1%% of keys drew only %.1f%% of operations; not skewed", 100*frac)
+	}
+	for k, c := range counts {
+		if k != 1 && c > counts[1] {
+			t.Fatalf("key %d (%d draws) hotter than key 1 (%d draws)", k, c, counts[1])
+		}
+	}
+}
+
+// TestZipfInSetMix: a skewed mix draws keys through the Zipf generator
+// and remains deterministic end to end.
+func TestZipfInSetMix(t *testing.T) {
+	z := NewZipf(1000, 0.8)
+	m1 := SetMix{KeyRange: 1000, MutatePct: 20, Zipf: z}
+	m2 := SetMix{KeyRange: 1000, MutatePct: 20, Zipf: NewZipf(1000, 0.8)}
+	r1, r2 := rng.New(99), rng.New(99)
+	for i := 0; i < 2000; i++ {
+		op1, k1 := m1.Next(r1)
+		op2, k2 := m2.Next(r2)
+		if op1 != op2 || k1 != k2 {
+			t.Fatalf("draw %d diverged: (%v,%d) vs (%v,%d)", i, op1, k1, op2, k2)
+		}
+	}
+}
+
+func TestZipfRejectsBadParams(t *testing.T) {
+	for _, c := range []struct {
+		n     uint64
+		theta float64
+	}{{0, 0.99}, {100, 0}, {100, 1}, {100, -0.5}, {100, 1.5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewZipf(%d, %v) did not panic", c.n, c.theta)
+				}
+			}()
+			NewZipf(c.n, c.theta)
+		}()
+	}
+}

@@ -1,0 +1,77 @@
+#!/usr/bin/env sh
+# CI smoke for distributed sweep orchestration (cmd/stctl + cmd/stserved):
+# a two-worker fleet runs the quick E1a sweep, one worker is SIGKILLed
+# mid-sweep — after it has accepted work — and the merged document must
+# still come out byte-identical to the committed single-node baseline
+# (BENCH_E1a.json, produced by `stbench -quick -run E1a -baseline .`).
+# This is the end-to-end version of TestWorkerKilledMidSweep in
+# internal/dist: real processes, real sockets, a real SIGKILL.
+set -eu
+
+ADDR_A=${DIST_ADDR_A:-127.0.0.1:8401}
+ADDR_B=${DIST_ADDR_B:-127.0.0.1:8402}
+TMP=$(mktemp -d)
+go build -o ./bin/stserved ./cmd/stserved
+go build -o ./bin/stctl ./cmd/stctl
+
+./bin/stserved -addr "$ADDR_A" -workers 1 -queue 8 -cache 64 2>"$TMP/a.log" &
+PID_A=$!
+./bin/stserved -addr "$ADDR_B" -workers 1 -queue 8 -cache 64 2>"$TMP/b.log" &
+PID_B=$!
+cleanup() {
+  kill "$PID_A" 2>/dev/null || true
+  kill "$PID_B" 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+wait_up() { # wait_up BASE LOG
+  i=0
+  until [ "$(curl -s -o /dev/null -w '%{http_code}' "$1/v1/healthz" || true)" = 200 ]; do
+    i=$((i + 1))
+    [ "$i" -le 50 ] || { echo "FAIL: $1 never came up" >&2; cat "$2" >&2; exit 1; }
+    sleep 0.2
+  done
+}
+wait_up "http://$ADDR_A" "$TMP/a.log"
+wait_up "http://$ADDR_B" "$TMP/b.log"
+
+echo "== dispatching quick E1a sweep across both workers =="
+./bin/stctl -workers "http://$ADDR_A,http://$ADDR_B" -quick -run E1a \
+  -retries 8 -backoff 50ms -health-every 250ms \
+  -json "$TMP/merged.json" -v 2>"$TMP/stctl.log" &
+CTL=$!
+
+# SIGKILL worker A as soon as it has accepted at least one shard, so the
+# kill lands mid-sweep with work in flight.
+i=0
+until curl -s "http://$ADDR_A/v1/stats" 2>/dev/null | grep -q '"jobs_accepted": [1-9]'; do
+  i=$((i + 1))
+  if [ "$i" -gt 150 ]; then
+    echo "FAIL: worker A never accepted a shard" >&2
+    cat "$TMP/stctl.log" >&2
+    exit 1
+  fi
+  # The sweep must still be running for the kill to be mid-sweep.
+  kill -0 "$CTL" 2>/dev/null || { echo "FAIL: sweep finished before the kill" >&2; exit 1; }
+  sleep 0.1
+done
+kill -9 "$PID_A"
+echo "OK: worker A SIGKILLed with work in flight"
+
+rc=0
+wait "$CTL" || rc=$?
+if [ "$rc" != 0 ]; then
+  echo "FAIL: stctl exited $rc" >&2
+  cat "$TMP/stctl.log" >&2
+  exit 1
+fi
+
+echo "== merged document vs committed single-node baseline =="
+if ! cmp "$TMP/merged.json" BENCH_E1a.json; then
+  echo "FAIL: merged document differs from BENCH_E1a.json" >&2
+  diff "$TMP/merged.json" BENCH_E1a.json >&2 || true
+  exit 1
+fi
+echo "OK: byte-identical ($(wc -c <"$TMP/merged.json") bytes) despite losing a worker mid-sweep"
+grep -i "eject" "$TMP/stctl.log" | head -3 || true
