@@ -34,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"stacktrack/internal/bench"
 	"stacktrack/internal/cli"
@@ -129,6 +130,7 @@ func main() {
 	var regressions []bench.Regression
 	complete := 0 // experiments that ran to the end; docs[complete:] are partial
 	interrupted := false
+	started := time.Now()
 	for _, e := range exps {
 		var tb *bench.Table
 		var err error
@@ -164,7 +166,21 @@ func main() {
 	}
 
 	if *jsonOut != "" {
-		doc := &bench.ResultsJSON{Schema: bench.SchemaVersion, Experiments: docs}
+		// -json output carries a host-side provenance block (wall-clock
+		// duration, toolchain, VCS commit). It is deliberately absent from
+		// -baseline files: meta is outside every content address, and
+		// baselines must stay byte-identical across hosts and commits.
+		p := cli.Provenance()
+		doc := &bench.ResultsJSON{
+			Schema: bench.SchemaVersion,
+			Meta: &bench.RunMeta{
+				DurationMs: float64(time.Since(started).Microseconds()) / 1000,
+				GoVersion:  p.GoVersion,
+				Commit:     p.Commit,
+				Dirty:      p.Dirty,
+			},
+			Experiments: docs,
+		}
 		if err := bench.WriteResultsJSON(*jsonOut, doc); err != nil {
 			fmt.Fprintf(os.Stderr, "stbench: %v\n", err)
 			os.Exit(cli.ExitFailure)

@@ -39,14 +39,16 @@ import (
 	"stacktrack/internal/cli"
 	"stacktrack/internal/dist"
 	"stacktrack/internal/serve"
+	"stacktrack/internal/store"
 )
 
 func main() {
 	var (
-		workers = flag.String("workers", "", "comma-separated stserved base URLs (required)")
-		run     = flag.String("run", "", "comma-separated experiments (names, IDs, or aliases); empty = all")
-		jsonOut = flag.String("json", "", "write the merged document to this file (default stdout)")
-		verbose = flag.Bool("v", false, "log dispatch, ejections, and retries to stderr")
+		workers  = flag.String("workers", "", "comma-separated stserved base URLs (required)")
+		run      = flag.String("run", "", "comma-separated experiments (names, IDs, or aliases); empty = all")
+		jsonOut  = flag.String("json", "", "write the merged document to this file (default stdout)")
+		storeDir = flag.String("store-dir", "", "also archive the merged document to this result-history store")
+		verbose  = flag.Bool("v", false, "log dispatch, ejections, and retries to stderr")
 
 		// Sweep shape — mirrors stbench so the merged document is
 		// byte-identical to what stbench -json would produce with the
@@ -100,6 +102,8 @@ func main() {
 	defer coord.Close()
 
 	var doc []byte
+	var docKey string // content address of the merged sweep, when it has one
+	start := time.Now()
 	if *exploreSpec != "" {
 		var spec serve.ExploreSpec
 		if err := json.Unmarshal([]byte(*exploreSpec), &spec); err != nil {
@@ -135,6 +139,14 @@ func main() {
 			}
 		}
 		doc, err = coord.RunExperiments(ctx, names, so)
+		// A single-experiment sweep has the same content address a
+		// worker-side whole-sweep job would: key the archive record with
+		// it so history joins up with stserved-archived runs.
+		if err == nil && len(names) == 1 {
+			if e := bench.FindExperiment(names[0]); e != nil {
+				docKey, _ = bench.ExperimentKey(e, so.BenchOptions())
+			}
+		}
 	}
 	if err != nil {
 		if cli.Interrupted(err) {
@@ -145,6 +157,15 @@ func main() {
 		os.Exit(cli.ExitFailure)
 	}
 
+	if *storeDir != "" {
+		if *exploreSpec != "" {
+			fmt.Fprintln(os.Stderr, "stctl: -store-dir records sweep documents only; explore campaign not archived")
+		} else if err := archiveMerged(*storeDir, docKey, doc, time.Since(start), len(fleet)); err != nil {
+			fmt.Fprintf(os.Stderr, "stctl: archive: %v\n", err)
+			os.Exit(cli.ExitFailure)
+		}
+	}
+
 	if *jsonOut == "" {
 		os.Stdout.Write(doc)
 		return
@@ -153,4 +174,31 @@ func main() {
 		fmt.Fprintf(os.Stderr, "stctl: %v\n", err)
 		os.Exit(cli.ExitFailure)
 	}
+}
+
+// archiveMerged appends the merged sweep document to the result-history
+// store, stamped with fleet size, wall-clock cost, and the coordinator
+// binary's build provenance.
+func archiveMerged(dir, key string, doc []byte, dur time.Duration, fleet int) error {
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	meta, err := store.DescribePayload(doc)
+	if err != nil {
+		return err
+	}
+	meta.Key = key
+	meta.Source = "stctl"
+	meta.Workers = fleet
+	meta.DurationMs = float64(dur.Microseconds()) / 1000
+	p := cli.Provenance()
+	meta.Commit = p.Commit
+	meta.GoVersion = p.GoVersion
+	rec, err := st.Append(meta, doc)
+	if err == nil {
+		fmt.Fprintf(os.Stderr, "stctl: archived merged document as run seq %d in %s\n", rec.Seq, dir)
+	}
+	return err
 }

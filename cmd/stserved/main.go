@@ -13,6 +13,11 @@
 //	GET    /v1/jobs/{id}      status; /result exact result bytes; /stream NDJSON
 //	DELETE /v1/jobs/{id}      cooperative cancel
 //	GET    /v1/experiments    inventory; /v1/stats counters; /v1/healthz liveness
+//	GET    /v1/history        archived runs (needs -store-dir); /v1/trends metric series
+//
+// With -store-dir every completed result document is archived to a
+// crash-safe append-only store (internal/store), building the history
+// that sthist's trend gates query.
 //
 // A full queue answers 429 with Retry-After rather than blocking.
 // SIGINT/SIGTERM shut down gracefully: the listener closes, queued and
@@ -33,6 +38,7 @@ import (
 
 	"stacktrack/internal/cli"
 	"stacktrack/internal/serve"
+	"stacktrack/internal/store"
 )
 
 func main() {
@@ -45,6 +51,8 @@ func main() {
 		cacheMax = flag.Int64("cache-disk-max", 0, "on-disk cache byte budget; oldest results pruned beyond it (0 = unbounded)")
 		timeout  = flag.Duration("timeout", 0, "default per-job timeout (0 = none)")
 		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+		storeDir = flag.String("store-dir", "", "result-history archive directory (empty = no archive)")
+		retainN  = flag.Int("store-retain", 0, "archive compaction keeps the newest N records per experiment (0 = all)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -66,6 +74,21 @@ func main() {
 		QueueDepth:     *queue,
 		DefaultTimeout: *timeout,
 	}, cache)
+
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, store.Options{
+			Retain: store.Retention{PerExperiment: *retainN},
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stserved: open result store: %v\n", err)
+			os.Exit(cli.ExitFailure)
+		}
+		defer st.Close()
+		srv.SetStore(st)
+		s := st.Stats()
+		fmt.Fprintf(os.Stderr, "stserved: result store %s (%d records, %d segments, last seq %d)\n",
+			*storeDir, s.Records, s.Segments, s.LastSeq)
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -22,8 +22,23 @@ const SchemaVersion = 1
 // ResultsJSON is the top-level document: one file holds one or more
 // experiments (a baseline file conventionally holds exactly one).
 type ResultsJSON struct {
-	Schema      int               `json:"schema"`
+	Schema int `json:"schema"`
+	// Meta is host-side provenance (wall-clock duration, toolchain, VCS
+	// commit). Deliberately outside every content address and absent
+	// from baselines and served results — two runs of the same config
+	// stay byte-identical wherever byte-identity is load-bearing; only
+	// front-ends that want provenance (stbench -json) stamp it.
+	Meta        *RunMeta          `json:"meta,omitempty"`
 	Experiments []*ExperimentJSON `json:"experiments"`
+}
+
+// RunMeta is the non-hashed provenance block. The fields describe the
+// host run that produced the document, never the simulated result.
+type RunMeta struct {
+	DurationMs float64 `json:"duration_ms,omitempty"`
+	GoVersion  string  `json:"go_version,omitempty"`
+	Commit     string  `json:"vcs_commit,omitempty"`
+	Dirty      bool    `json:"vcs_dirty,omitempty"`
 }
 
 // ExperimentJSON is one experiment's full machine-readable result.
@@ -141,14 +156,36 @@ func ReadResultsJSON(path string) (*ResultsJSON, error) {
 	if err != nil {
 		return nil, err
 	}
-	var doc ResultsJSON
-	if err := json.Unmarshal(b, &doc); err != nil {
+	doc, err := DecodeResults(b)
+	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
+	return doc, nil
+}
+
+// DecodeResults parses a results document from bytes and checks its
+// schema version — the in-memory half of ReadResultsJSON, shared with
+// the result archive (internal/store), which stores documents as bytes.
+func DecodeResults(b []byte) (*ResultsJSON, error) {
+	var doc ResultsJSON
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return nil, err
+	}
 	if doc.Schema != SchemaVersion {
-		return nil, fmt.Errorf("%s: schema %d, want %d", path, doc.Schema, SchemaVersion)
+		return nil, fmt.Errorf("schema %d, want %d", doc.Schema, SchemaVersion)
 	}
 	return &doc, nil
+}
+
+// FindResultsExperiment returns doc's entry for e (matched by ID or
+// name), or nil when the document does not cover it.
+func FindResultsExperiment(doc *ResultsJSON, e *Experiment) *ExperimentJSON {
+	for _, x := range doc.Experiments {
+		if x.ID == e.ID || x.Name == e.Name {
+			return x
+		}
+	}
+	return nil
 }
 
 // BaselineFile returns the conventional baseline filename for an
@@ -170,10 +207,8 @@ func LoadBaseline(dir string, e *Experiment) (*ExperimentJSON, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, x := range doc.Experiments {
-		if x.ID == e.ID || x.Name == e.Name {
-			return x, nil
-		}
+	if x := FindResultsExperiment(doc, e); x != nil {
+		return x, nil
 	}
 	return nil, fmt.Errorf("%s: no results for experiment %s (%s)", path, e.Name, e.ID)
 }

@@ -1,0 +1,46 @@
+package cli
+
+// Build provenance for result metadata: which toolchain and which
+// commit produced a run. Read once from the binary's embedded build
+// info (debug.ReadBuildInfo), so it works for `go run` and installed
+// binaries alike; outside a VCS checkout the commit fields stay empty
+// rather than failing.
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// BuildProvenance describes the binary that produced a run.
+type BuildProvenance struct {
+	GoVersion string // toolchain, e.g. "go1.22.0"
+	Commit    string // vcs.revision, "" when not built from VCS
+	Dirty     bool   // vcs.modified
+}
+
+var (
+	provOnce sync.Once
+	prov     BuildProvenance
+)
+
+// Provenance returns the binary's build provenance (cached after the
+// first call).
+func Provenance() BuildProvenance {
+	provOnce.Do(func() {
+		prov.GoVersion = runtime.Version()
+		info, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				prov.Commit = s.Value
+			case "vcs.modified":
+				prov.Dirty = s.Value == "true"
+			}
+		}
+	})
+	return prov
+}

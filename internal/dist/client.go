@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"stacktrack/internal/bench"
 	"stacktrack/internal/serve"
 )
 
@@ -46,6 +47,7 @@ type worker struct {
 	inflight int // jobs this coordinator currently has on the worker
 	load     int // queue_depth + workers_busy from the last stats poll
 	ejected  int // times the worker left the rotation
+	schema   int // result schema from the last healthz answer (0 = unknown)
 }
 
 func newWorker(base string) *worker {
@@ -82,6 +84,30 @@ func (w *worker) setLoad(load int) {
 	w.load = load
 }
 
+func (w *worker) setSchema(v int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.schema = v
+}
+
+func (w *worker) schemaVersion() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.schema
+}
+
+// isIncompatible reports a worker advertising a result schema this
+// coordinator cannot merge. Unlike plain unhealthiness this is a hard
+// ejection: dispatch never falls back to an incompatible worker,
+// because its answers would poison the merged document rather than
+// merely arrive late. Workers that predate the schema field (0) are
+// assumed compatible — the merge still validates every shard document.
+func (w *worker) isIncompatible() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.schema != 0 && w.schema != bench.SchemaVersion
+}
+
 func (w *worker) acquire() { w.mu.Lock(); w.inflight++; w.mu.Unlock() }
 func (w *worker) release() { w.mu.Lock(); w.inflight--; w.mu.Unlock() }
 
@@ -98,10 +124,16 @@ func (w *worker) checkHealth(ctx context.Context, hc *http.Client) bool {
 	if err != nil {
 		return false
 	}
-	io.Copy(io.Discard, resp.Body)
+	hb, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		return false
+	}
+	var health struct {
+		Schema int `json:"schema"`
+	}
+	if json.Unmarshal(hb, &health) == nil {
+		w.setSchema(health.Schema)
 	}
 
 	// Load is advisory — a worker that serves healthz but not stats

@@ -150,6 +150,17 @@ func (c *Coordinator) healthLoop() {
 			go func(w *worker) {
 				defer wg.Done()
 				ok := w.checkHealth(context.Background(), c.cfg.Client)
+				if ok && w.isIncompatible() {
+					// Answering, but speaking a different result schema:
+					// merging its shards would mix incompatible layouts, so
+					// this is an ejection dispatch never falls back to.
+					if w.isHealthy() {
+						c.logf("worker %s ejected (result schema %d, coordinator speaks %d)",
+							w.base, w.schemaVersion(), bench.SchemaVersion)
+					}
+					w.setHealthy(false)
+					return
+				}
 				if ok != w.isHealthy() {
 					if ok {
 						c.logf("worker %s reinstated", w.base)
@@ -178,13 +189,15 @@ func (c *Coordinator) healthLoop() {
 // pick chooses the least-loaded healthy worker, skipping exclude (the
 // hedge's primary). With every worker ejected it falls back to the
 // least-loaded worker regardless — the health loop may simply not have
-// noticed a recovery yet, and dispatching is how we find out.
+// noticed a recovery yet, and dispatching is how we find out. The one
+// exception is schema incompatibility: those workers would answer
+// promptly and wrongly, so the fallback never resurrects them.
 func (c *Coordinator) pick(exclude *worker) *worker {
 	var best *worker
 	bestScore := 0
 	consider := func(healthyOnly bool) {
 		for _, w := range c.workers {
-			if w == exclude || (healthyOnly && !w.isHealthy()) {
+			if w == exclude || w.isIncompatible() || (healthyOnly && !w.isHealthy()) {
 				continue
 			}
 			if s := w.score(); best == nil || s < bestScore {
@@ -199,6 +212,17 @@ func (c *Coordinator) pick(exclude *worker) *worker {
 	return best
 }
 
+// incompatibleCount counts workers ejected for schema mismatch.
+func (c *Coordinator) incompatibleCount() int {
+	n := 0
+	for _, w := range c.workers {
+		if w.isIncompatible() {
+			n++
+		}
+	}
+	return n
+}
+
 // WorkerState is one fleet member's coordinator-side view.
 type WorkerState struct {
 	Base     string
@@ -206,6 +230,10 @@ type WorkerState struct {
 	Inflight int
 	Load     int
 	Ejected  int
+	// Schema is the worker's advertised result schema (0 = not reported);
+	// Incompatible marks the hard ejection for a mismatch.
+	Schema       int
+	Incompatible bool
 }
 
 // Workers snapshots the fleet state (logging, tests).
@@ -216,6 +244,8 @@ func (c *Coordinator) Workers() []WorkerState {
 		out = append(out, WorkerState{
 			Base: w.base, Healthy: w.healthy,
 			Inflight: w.inflight, Load: w.load, Ejected: w.ejected,
+			Schema:       w.schema,
+			Incompatible: w.schema != 0 && w.schema != bench.SchemaVersion,
 		})
 		w.mu.Unlock()
 	}
@@ -285,6 +315,13 @@ func (c *Coordinator) attempt(ctx context.Context, req serve.JobRequest, label s
 
 	primary := c.pick(nil)
 	if primary == nil {
+		if n := c.incompatibleCount(); n == len(c.workers) {
+			// Retrying cannot help: every worker speaks a result schema
+			// this coordinator cannot merge.
+			return nil, &errPermanent{fmt.Errorf(
+				"dist: all %d workers report a result schema incompatible with this coordinator (want %d)",
+				n, bench.SchemaVersion)}
+		}
 		return nil, errors.New("dist: no workers available")
 	}
 	launch(primary)

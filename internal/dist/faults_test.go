@@ -12,6 +12,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -294,5 +295,79 @@ func forward(t *testing.T, base string, w http.ResponseWriter, r *http.Request) 
 		if err != nil {
 			return
 		}
+	}
+}
+
+// TestSchemaMismatchHardEjection: a worker advertising a different
+// result schema is ejected and — unlike a merely unreachable worker —
+// never resurrected by the all-ejected dispatch fallback. A fleet with
+// one compatible worker still completes; a fleet with none fails
+// permanently instead of retrying.
+func TestSchemaMismatchHardEjection(t *testing.T) {
+	alien := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/healthz":
+			w.Write([]byte(`{"status": "ok", "schema": 999}`))
+		case "/v1/stats":
+			http.NotFound(w, r) // health probe ride-along, not job traffic
+		default:
+			t.Errorf("incompatible worker received %s %s", r.Method, r.URL.Path)
+			http.NotFound(w, r)
+		}
+	}))
+	t.Cleanup(alien.Close)
+	good := realWorker(t)
+
+	c := newCoordinator(t, Config{
+		Workers:      []string{alien.URL, good.URL},
+		ShardTimeout: 30 * time.Second,
+		HealthEvery:  20 * time.Millisecond,
+	})
+	waitIncompatible := func(c *Coordinator, idx int) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if c.Workers()[idx].Incompatible {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Fatalf("worker never marked incompatible: %+v", c.Workers())
+	}
+	waitIncompatible(c, 0)
+
+	got, err := c.RunExperiments(context.Background(), []string{"E1a"}, tinySweep())
+	if err != nil {
+		t.Fatalf("sweep with one compatible worker: %v", err)
+	}
+	want := singleNodeDoc(t, []string{"E1a"}, tinySweep())
+	if !bytes.Equal(got, want) {
+		t.Fatal("merged document differs from single-node reference")
+	}
+	ws := c.Workers()
+	if !ws[0].Incompatible || ws[0].Schema != 999 || ws[0].Healthy {
+		t.Fatalf("alien worker state = %+v", ws[0])
+	}
+	if ws[1].Incompatible {
+		t.Fatalf("compatible worker state = %+v", ws[1])
+	}
+
+	// All workers incompatible: fail fast, not a retry storm.
+	c2 := newCoordinator(t, Config{
+		Workers:      []string{alien.URL},
+		ShardTimeout: 5 * time.Second,
+		HealthEvery:  20 * time.Millisecond,
+		Retries:      10,
+		Backoff:      time.Second,
+	})
+	waitIncompatible(c2, 0)
+	start := time.Now()
+	if _, err := c2.RunExperiments(context.Background(), []string{"E1a"}, tinySweep()); err == nil {
+		t.Fatal("all-incompatible fleet should fail")
+	} else if !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("error does not name the schema mismatch: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("all-incompatible failure took %v — retried instead of failing fast", elapsed)
 	}
 }

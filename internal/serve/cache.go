@@ -29,6 +29,11 @@ type Cache struct {
 	diskBytes    int64  // last accounted size of the disk tier
 
 	hits, misses, diskHits, evictions, diskErrors, diskPrunes uint64
+
+	// promote, when set, observes disk-tier promotions: results computed
+	// by an earlier process that the memory tier has never seen. The
+	// result archive hooks this to backfill results that predate it.
+	promote func(key string, val []byte)
 }
 
 type cacheEntry struct {
@@ -86,16 +91,25 @@ func (c *Cache) path(key string) string {
 	return filepath.Join(c.dir, key+".json")
 }
 
+// SetPromoteHook installs fn to be called (outside the cache lock) on
+// every disk-tier promotion. Call before the cache starts serving.
+func (c *Cache) SetPromoteHook(fn func(key string, val []byte)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.promote = fn
+}
+
 // Get returns the cached bytes for key. Memory first; on a miss the
 // disk tier is consulted and a hit promoted back into memory. The
 // returned slice must not be mutated (it is shared with the cache).
 func (c *Cache) Get(key string) ([]byte, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
 		c.lru.MoveToFront(el)
 		c.hits++
-		return el.Value.(*cacheEntry).val, true
+		val := el.Value.(*cacheEntry).val
+		c.mu.Unlock()
+		return val, true
 	}
 	if c.dir != "" {
 		if p := c.path(key); p != "" {
@@ -103,11 +117,19 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 				c.hits++
 				c.diskHits++
 				c.putLocked(key, b)
+				hook := c.promote
+				c.mu.Unlock()
+				// The hook may do its own I/O (fsync into the archive), so
+				// it runs after the lock is released.
+				if hook != nil {
+					hook(key, b)
+				}
 				return b, true
 			}
 		}
 	}
 	c.misses++
+	c.mu.Unlock()
 	return nil, false
 }
 

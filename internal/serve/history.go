@@ -1,0 +1,100 @@
+package serve
+
+// History/trend endpoints and the extended health document. These read
+// the attached result archive (internal/store); when the server runs
+// without one the endpoints answer 404 so callers can distinguish "no
+// archive" from "archive is empty".
+
+import (
+	"net/http"
+	"strconv"
+
+	"stacktrack/internal/bench"
+	"stacktrack/internal/store"
+)
+
+// HealthJSON is the GET /v1/healthz document. Schema lets a coordinator
+// refuse to merge shards from a worker speaking a different result
+// layout; Store summarizes the archive when one is attached.
+type HealthJSON struct {
+	Status string       `json:"status"`
+	Schema int          `json:"schema"`
+	Store  *store.Stats `json:"store,omitempty"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	doc := HealthJSON{Status: "ok", Schema: bench.SchemaVersion}
+	if s.store != nil {
+		st := s.store.Stats()
+		doc.Store = &st
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// historyQuery parses the shared query parameters of /v1/history and
+// /v1/trends: experiment, scheme, threads, last.
+func historyQuery(r *http.Request) (store.Query, error) {
+	q := store.Query{
+		Experiment: r.URL.Query().Get("experiment"),
+		Scheme:     r.URL.Query().Get("scheme"),
+	}
+	if v := r.URL.Query().Get("threads"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			return q, errInvalidParam("threads", v)
+		}
+		q.Threads = n
+	}
+	if v := r.URL.Query().Get("last"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			return q, errInvalidParam("last", v)
+		}
+		q.LastN = n
+	}
+	return q, nil
+}
+
+type paramError struct{ name, value string }
+
+func (e paramError) Error() string {
+	return "invalid " + e.name + " parameter: " + strconv.Quote(e.value)
+}
+
+func errInvalidParam(name, value string) error { return paramError{name, value} }
+
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		writeError(w, http.StatusNotFound, "no result store configured (start with -store-dir)")
+		return
+	}
+	q, err := historyQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%s", err)
+		return
+	}
+	entries, err := s.store.History(q)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "history: %s", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, entries)
+}
+
+func (s *Server) handleTrends(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		writeError(w, http.StatusNotFound, "no result store configured (start with -store-dir)")
+		return
+	}
+	q, err := historyQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%s", err)
+		return
+	}
+	trends, err := s.store.Trends(q)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "trends: %s", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, trends)
+}

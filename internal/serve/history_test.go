@@ -1,0 +1,297 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"stacktrack/internal/bench"
+	"stacktrack/internal/store"
+)
+
+const quickBody = `{"experiment": "E1a", "options": {"threads": [2], "measure_ms": 0.5, "warmup_ms": 0.2}}`
+
+func newArchivingServer(t *testing.T, cache *Cache) (*Server, *store.Store, *httptest.Server) {
+	t.Helper()
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(PoolConfig{Workers: 2, QueueDepth: 8}, cache)
+	srv.SetStore(st)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Shutdown(context.Background())
+		st.Close()
+	})
+	return srv, st, ts
+}
+
+// TestArchiveOnCompletion: a completed job's document lands in the
+// store byte-identical to the served response, with the job's content
+// key and derived metadata; a cache hit on resubmission does not
+// archive a duplicate.
+func TestArchiveOnCompletion(t *testing.T) {
+	_, st, ts := newArchivingServer(t, NewCache(8, ""))
+
+	code, view := postJob(t, ts, quickBody)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d", code)
+	}
+	j := waitDone(t, ts, view.ID)
+	code, served := getResult(t, ts, view.ID)
+	if code != http.StatusOK {
+		t.Fatalf("result = %d", code)
+	}
+
+	stats := st.Stats()
+	if stats.Records != 1 {
+		t.Fatalf("store records = %d, want 1", stats.Records)
+	}
+	recs := st.Records(store.Query{})
+	m := recs[0]
+	if m.Key == "" || m.Key != j.Key {
+		t.Fatalf("archived key = %q, job key = %q", m.Key, j.Key)
+	}
+	if m.Source != "stserved" || m.Experiment != "E1a" || m.Schema != bench.SchemaVersion {
+		t.Fatalf("archived meta = %+v", m)
+	}
+	if m.DurationMs <= 0 {
+		t.Fatalf("archived duration = %g", m.DurationMs)
+	}
+	_, payload, err := st.Get(m.Seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(payload, served) {
+		t.Fatal("archived bytes differ from the served response")
+	}
+
+	// Resubmit: cache hit, no recomputation, no second record.
+	code, view2 := postJob(t, ts, quickBody)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("resubmit = %d", code)
+	}
+	waitDone(t, ts, view2.ID)
+	if got := st.Stats().Records; got != 1 {
+		t.Fatalf("cache hit archived a duplicate: %d records", got)
+	}
+}
+
+func waitDone(t *testing.T, ts *httptest.Server, id string) JobView {
+	t.Helper()
+	for start := time.Now(); ; time.Sleep(2 * time.Millisecond) {
+		if time.Since(start) > 30*time.Second {
+			t.Fatalf("job %s did not finish", id)
+		}
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var view JobView
+		err = json.NewDecoder(resp.Body).Decode(&view)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch view.Status {
+		case StatusDone:
+			return view
+		case StatusFailed, StatusCancelled:
+			t.Fatalf("job %s ended %s: %s", id, view.Status, view.Error)
+		}
+	}
+}
+
+// TestDiskPromotionArchives: a result computed by an earlier process
+// (present only in the cache's disk tier) is archived the first time it
+// is served again — and only once.
+func TestDiskPromotionArchives(t *testing.T) {
+	cacheDir := t.TempDir()
+
+	// Process one: compute with a disk-tier cache, no store.
+	srv1 := NewServer(PoolConfig{Workers: 2, QueueDepth: 8}, NewCache(8, cacheDir))
+	ts1 := httptest.NewServer(srv1.Handler())
+	_, view := postJob(t, ts1, quickBody)
+	waitDone(t, ts1, view.ID)
+	_, served := getResult(t, ts1, view.ID)
+	ts1.Close()
+	srv1.Shutdown(context.Background())
+
+	// Process two: same disk tier, now with a store attached.
+	_, st, ts2 := newArchivingServer(t, NewCache(8, cacheDir))
+	code, view2 := postJob(t, ts2, quickBody)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("resubmit = %d", code)
+	}
+	waitDone(t, ts2, view2.ID)
+	stats := st.Stats()
+	if stats.Records != 1 {
+		t.Fatalf("promotion archived %d records, want 1", stats.Records)
+	}
+	m := st.Records(store.Query{})[0]
+	_, payload, err := st.Get(m.Seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(payload, served) {
+		t.Fatal("promoted archive differs from the originally served bytes")
+	}
+
+	// Serve it once more from memory: still one record.
+	_, view3 := postJob(t, ts2, quickBody)
+	waitDone(t, ts2, view3.ID)
+	if got := st.Stats().Records; got != 1 {
+		t.Fatalf("second hit duplicated the archive: %d records", got)
+	}
+}
+
+// TestHealthzReportsSchemaAndStore: the health document carries the
+// result schema version always, and store stats when one is attached.
+func TestHealthzReportsSchemaAndStore(t *testing.T) {
+	_, st, ts := newArchivingServer(t, NewCache(8, ""))
+	_ = st
+
+	var doc HealthJSON
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Status != "ok" || doc.Schema != bench.SchemaVersion || doc.Store == nil {
+		t.Fatalf("healthz = %+v", doc)
+	}
+
+	// Without a store: schema still present, store block absent.
+	srv2 := newTestServer(PoolConfig{}, nil, func(ctx context.Context, job *Job) ([]byte, error) {
+		return []byte("{}\n"), nil
+	})
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	defer srv2.Shutdown(context.Background())
+	resp2, err := http.Get(ts2.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var doc2 HealthJSON
+	if err := json.NewDecoder(resp2.Body).Decode(&doc2); err != nil {
+		t.Fatal(err)
+	}
+	if doc2.Schema != bench.SchemaVersion || doc2.Store != nil {
+		t.Fatalf("storeless healthz = %+v", doc2)
+	}
+}
+
+// TestHistoryAndTrendsEndpoints: archived runs are queryable over HTTP
+// with the documented filters; servers without a store answer 404.
+func TestHistoryAndTrendsEndpoints(t *testing.T) {
+	_, _, ts := newArchivingServer(t, NewCache(8, ""))
+
+	// Two archived runs of the same config: the second submission hits
+	// the cache, so force recomputation with distinct seeds.
+	for _, body := range []string{
+		`{"experiment": "E1a", "options": {"threads": [2], "measure_ms": 0.5, "warmup_ms": 0.2, "seed": 1}}`,
+		`{"experiment": "E1a", "options": {"threads": [2], "measure_ms": 0.5, "warmup_ms": 0.2, "seed": 2}}`,
+	} {
+		_, view := postJob(t, ts, body)
+		waitDone(t, ts, view.ID)
+	}
+
+	var entries []store.HistoryEntry
+	getJSON(t, ts, "/v1/history?experiment=E1a", &entries)
+	if len(entries) != 2 {
+		t.Fatalf("history entries = %d", len(entries))
+	}
+	for _, e := range entries {
+		if len(e.Points) == 0 || e.Meta.Experiment != "E1a" {
+			t.Fatalf("entry = %+v", e)
+		}
+	}
+	var none []store.HistoryEntry
+	getJSON(t, ts, "/v1/history?experiment=E99", &none)
+	if len(none) != 0 {
+		t.Fatalf("phantom history: %+v", none)
+	}
+
+	var trends []store.TrendSeries
+	getJSON(t, ts, "/v1/trends?experiment=E1a&threads=2", &trends)
+	if len(trends) == 0 {
+		t.Fatal("no trend series")
+	}
+	for _, tr := range trends {
+		if len(tr.Points) != 2 {
+			t.Fatalf("%s: %d points, want 2", tr.Metric, len(tr.Points))
+		}
+	}
+
+	// Bad parameters are 400s.
+	for _, path := range []string{"/v1/history?threads=zero", "/v1/trends?last=-1"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s = %d, want 400", path, resp.StatusCode)
+		}
+	}
+
+	// No store attached: 404, so callers can tell "no archive" from
+	// "empty archive".
+	srv2 := newTestServer(PoolConfig{}, nil, func(ctx context.Context, job *Job) ([]byte, error) {
+		return []byte("{}\n"), nil
+	})
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	defer srv2.Shutdown(context.Background())
+	for _, path := range []string{"/v1/history", "/v1/trends"} {
+		resp, err := http.Get(ts2.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("storeless %s = %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+func getJSON(t *testing.T, ts *httptest.Server, path string, v any) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", path, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("GET %s: decode: %v", path, err)
+	}
+}
+
+// TestExploreJobsAreNotArchived: explore campaign results are not
+// ResultsJSON documents; the archive skips them rather than refusing
+// the job.
+func TestExploreJobsAreNotArchived(t *testing.T) {
+	_, st, ts := newArchivingServer(t, NewCache(8, ""))
+	body := `{"explore": {"config": {"structure": "list", "scheme": "epoch", "measure_cycles": 200000}, "max_runs": 2}}`
+	code, view := postJob(t, ts, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d", code)
+	}
+	waitDone(t, ts, view.ID)
+	if got := st.Stats().Records; got != 0 {
+		t.Fatalf("explore result archived: %d records", got)
+	}
+}

@@ -14,7 +14,9 @@ package serve
 //	DELETE /v1/jobs/{id}      cooperative cancel
 //	GET    /v1/experiments    registered experiment inventory
 //	GET    /v1/stats          pool + cache counters
-//	GET    /v1/healthz        liveness
+//	GET    /v1/healthz        liveness + result schema version + store stats
+//	GET    /v1/history        archived runs (result store; see internal/store)
+//	GET    /v1/trends         per-metric trend series across archived runs
 
 import (
 	"context"
@@ -25,16 +27,20 @@ import (
 	"time"
 
 	"stacktrack/internal/bench"
+	"stacktrack/internal/cli"
 	"stacktrack/internal/explore"
+	"stacktrack/internal/store"
 )
 
 // maxBodyBytes bounds a job request body; real requests are tiny.
 const maxBodyBytes = 1 << 20
 
-// Server wires the pool, cache, and HTTP handlers together.
+// Server wires the pool, cache, result archive, and HTTP handlers
+// together.
 type Server struct {
 	pool  *Pool
 	cache *Cache
+	store *store.Store
 	mux   *http.ServeMux
 }
 
@@ -42,10 +48,62 @@ type Server struct {
 // cache may be nil to disable result reuse.
 func NewServer(cfg PoolConfig, cache *Cache) *Server {
 	s := &Server{cache: cache}
-	s.pool = NewPool(cfg, cache, execute)
+	s.pool = NewPool(cfg, cache, s.runJob)
 	s.mux = http.NewServeMux()
 	s.routes()
 	return s
+}
+
+// SetStore attaches the result archive: every completed simulation is
+// appended, and history/trend queries are served from it. Must be
+// called before the server starts handling requests (it also hooks the
+// cache's disk-tier promotions, so results computed before the store
+// existed get archived the first time they are served again).
+func (s *Server) SetStore(st *store.Store) {
+	s.store = st
+	if s.cache != nil {
+		s.cache.SetPromoteHook(func(key string, val []byte) {
+			if key != "" && !st.Has(key) {
+				s.archive(key, val, 0)
+			}
+		})
+	}
+}
+
+// Store exposes the attached archive (nil when none).
+func (s *Server) Store() *store.Store { return s.store }
+
+// runJob is the pool's Runner: execute, then archive the completed
+// document. Archival is strictly after the fact — it can neither change
+// nor fail the job.
+func (s *Server) runJob(ctx context.Context, job *Job) ([]byte, error) {
+	start := time.Now()
+	b, err := execute(ctx, job)
+	if err == nil {
+		s.archive(job.Key, b, time.Since(start))
+	}
+	return b, err
+}
+
+// archive appends one completed result document to the store. Documents
+// the archive cannot describe (explore campaign results — no points, no
+// trend value) are skipped; so is everything when no store is attached.
+func (s *Server) archive(key string, payload []byte, dur time.Duration) {
+	st := s.store
+	if st == nil {
+		return
+	}
+	meta, err := store.DescribePayload(payload)
+	if err != nil {
+		return
+	}
+	meta.Key = key
+	meta.Source = "stserved"
+	meta.DurationMs = float64(dur.Microseconds()) / 1000
+	p := cli.Provenance()
+	meta.Commit = p.Commit
+	meta.GoVersion = p.GoVersion
+	st.Append(meta, payload)
 }
 
 func (s *Server) routes() {
@@ -56,9 +114,9 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/history", s.handleHistory)
+	s.mux.HandleFunc("GET /v1/trends", s.handleTrends)
 }
 
 // Handler returns the root HTTP handler.

@@ -1,0 +1,111 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"stacktrack/internal/bench"
+)
+
+// benchDoc builds a realistically-sized document: 5 series × 6 thread
+// counts, the shape of a committed BENCH_E1a.json baseline.
+func benchDoc(b *testing.B, run int) []byte {
+	b.Helper()
+	x := &bench.ExperimentJSON{Schema: bench.SchemaVersion, Name: "experiment E1a", ID: "E1a"}
+	for _, s := range []string{"StackTrack", "Epoch", "Hazards", "DTA", "Original"} {
+		for _, n := range []int{1, 2, 4, 8, 12, 16} {
+			x.Points = append(x.Points, bench.PointJSON{
+				Series: s, Threads: n,
+				Ops:        uint64(1000*n + run),
+				Throughput: float64(1000*n+run) * 2.5,
+				Derived:    map[string]float64{"aborts_per_kseg": 2.5, "splits_per_op": 140},
+			})
+		}
+	}
+	doc := &bench.ResultsJSON{Schema: bench.SchemaVersion, Experiments: []*bench.ExperimentJSON{x}}
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return append(raw, '\n')
+}
+
+func benchAppend(b *testing.B, s *Store, run int, payload []byte) RecordMeta {
+	b.Helper()
+	meta, err := DescribePayload(payload)
+	if err != nil {
+		b.Fatal(err)
+	}
+	meta.Key = fmt.Sprintf("bench-key-%d", run)
+	meta.Source = "bench"
+	rec, err := s.Append(meta, payload)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rec
+}
+
+// BenchmarkAppend measures the acknowledged-append path: encode, CRC,
+// write, fsync. Dominated by the fsync — this is the per-job archive
+// cost stserved pays on completion.
+func BenchmarkAppend(b *testing.B) {
+	s, err := Open(b.TempDir(), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	payload := benchDoc(b, 0)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchAppend(b, s, i, payload)
+	}
+}
+
+// BenchmarkHistory measures a filtered history query over 100 archived
+// runs — the GET /v1/history path.
+func BenchmarkHistory(b *testing.B) {
+	s, err := Open(b.TempDir(), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 100; i++ {
+		benchAppend(b, s, i, benchDoc(b, i))
+	}
+	q := Query{Experiment: "E1a", Scheme: "StackTrack"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.History(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrendsAndGate measures the full gate path over 100 archived
+// runs: trend extraction plus the rolling-median/MAD/CUSUM scan of
+// every metric series — what `sthist -gate` and CI pay per check.
+func BenchmarkTrendsAndGate(b *testing.B) {
+	s, err := Open(b.TempDir(), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 100; i++ {
+		benchAppend(b, s, i, benchDoc(b, i))
+	}
+	head, err := bench.DecodeResults(benchDoc(b, 100))
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := Query{Experiment: "E1a"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trends, err := s.Trends(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		Gate(trends, head.Experiments[0], GateConfig{})
+	}
+}

@@ -1,0 +1,271 @@
+package store
+
+// On-disk layout. A store directory holds numbered segment files
+// (seg-00000001.log, seg-00000002.log, ...); the highest id is the
+// active segment, appended to until it crosses the rotation threshold,
+// everything below is sealed and immutable (until compaction rewrites
+// it). Each segment starts with a fixed header:
+//
+//	8 bytes  magic "STSEG\x00\x01\n"
+//	8 bytes  coverUpTo, little-endian uint64
+//
+// coverUpTo is zero for ordinary segments. A segment written by
+// compaction records the highest sequence number it *covers* — including
+// records the retention policy dropped — so that a crash between the
+// compaction rename and the removal of the now-redundant old segments
+// cannot resurrect stale records on the next open: any record with a
+// sequence number at or below the running maximum is skipped (and its
+// segment deleted once it proves fully stale).
+//
+// Each record is length-and-CRC framed:
+//
+//	4 bytes  bodyLen, little-endian uint32
+//	4 bytes  CRC-32C of body, little-endian uint32
+//	body:
+//	  4 bytes  metaLen, little-endian uint32
+//	  metaLen  RecordMeta as JSON
+//	  rest     payload (the archived result document, byte-exact)
+//
+// Appends are fsynced before they are acknowledged, so a crash — power
+// loss, kill -9 — can tear at most the final record of the active
+// segment. Open detects the torn tail (short frame or CRC mismatch),
+// truncates the file back to the last complete record, and carries on;
+// a bad frame anywhere but the tail of the last segment is genuine
+// corruption and surfaces as ErrCorrupt instead of being papered over.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+var segMagic = []byte("STSEG\x00\x01\n")
+
+const (
+	segHeaderLen   = 16 // magic + coverUpTo
+	recHeaderLen   = 8  // bodyLen + crc
+	maxRecordBytes = 1 << 30
+)
+
+// ErrCorrupt reports a damaged frame that torn-tail truncation cannot
+// explain: a bad record in a sealed segment, or off the tail of the
+// active one.
+var ErrCorrupt = errors.New("store: corrupt segment")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// segment is one open log file.
+type segment struct {
+	id      int
+	path    string
+	f       *os.File
+	size    int64  // current length in bytes
+	records int    // live records indexed from this segment
+	cover   uint64 // header coverUpTo
+}
+
+func segmentPath(dir string, id int) string {
+	return filepath.Join(dir, fmt.Sprintf("seg-%08d.log", id))
+}
+
+// parseSegmentID extracts the numeric id from a segment filename, or -1.
+func parseSegmentID(name string) int {
+	if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".log") {
+		return -1
+	}
+	n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "seg-"), ".log"))
+	if err != nil || n <= 0 {
+		return -1
+	}
+	return n
+}
+
+// createSegment writes a fresh segment file with its header and returns
+// it open for appending.
+func createSegment(dir string, id int, cover uint64) (*segment, error) {
+	path := segmentPath(dir, id)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, segHeaderLen)
+	copy(hdr, segMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], cover)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &segment{id: id, path: path, f: f, size: segHeaderLen, cover: cover}, nil
+}
+
+// openSegment opens an existing segment file and validates its header.
+func openSegment(path string, id int) (*segment, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, segHeaderLen)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: %s: short header", ErrCorrupt, path)
+	}
+	if string(hdr[:8]) != string(segMagic) {
+		f.Close()
+		return nil, fmt.Errorf("%w: %s: bad magic %q", ErrCorrupt, path, hdr[:8])
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &segment{
+		id: id, path: path, f: f,
+		size:  info.Size(),
+		cover: binary.LittleEndian.Uint64(hdr[8:]),
+	}, nil
+}
+
+// encodeRecord frames meta+payload into one append-ready record.
+func encodeRecord(meta RecordMeta, payload []byte) ([]byte, error) {
+	mb, err := json.Marshal(meta)
+	if err != nil {
+		return nil, fmt.Errorf("store: record meta: %w", err)
+	}
+	bodyLen := 4 + len(mb) + len(payload)
+	if bodyLen > maxRecordBytes {
+		return nil, fmt.Errorf("store: record of %d bytes exceeds the %d-byte bound", bodyLen, maxRecordBytes)
+	}
+	buf := make([]byte, recHeaderLen+bodyLen)
+	body := buf[recHeaderLen:]
+	binary.LittleEndian.PutUint32(body, uint32(len(mb)))
+	copy(body[4:], mb)
+	copy(body[4+len(mb):], payload)
+	binary.LittleEndian.PutUint32(buf, uint32(bodyLen))
+	binary.LittleEndian.PutUint32(buf[4:], crc32.Checksum(body, castagnoli))
+	return buf, nil
+}
+
+// record is one indexed entry: where its frame lives plus its decoded
+// metadata (kept in memory; payloads stay on disk until asked for).
+type record struct {
+	meta    RecordMeta
+	seg     *segment
+	off     int64 // frame start (header) within the segment file
+	bodyLen uint32
+	crc     uint32
+}
+
+// frameLen is the record's full on-disk footprint.
+func (r *record) frameLen() int64 { return recHeaderLen + int64(r.bodyLen) }
+
+// payload reads and CRC-verifies the record's body, returning the
+// payload bytes exactly as they were appended.
+func (r *record) payload() ([]byte, error) {
+	body := make([]byte, r.bodyLen)
+	if _, err := r.seg.f.ReadAt(body, r.off+recHeaderLen); err != nil {
+		return nil, fmt.Errorf("store: read record %d: %w", r.meta.Seq, err)
+	}
+	if crc32.Checksum(body, castagnoli) != r.crc {
+		return nil, fmt.Errorf("%w: record %d fails its CRC", ErrCorrupt, r.meta.Seq)
+	}
+	metaLen := binary.LittleEndian.Uint32(body)
+	if int64(metaLen)+4 > int64(len(body)) {
+		return nil, fmt.Errorf("%w: record %d meta length out of range", ErrCorrupt, r.meta.Seq)
+	}
+	return body[4+metaLen:], nil
+}
+
+// scanResult is one segment's scan outcome.
+type scanResult struct {
+	records []*record
+	torn    int64 // bytes past the last complete record (0 = clean)
+	tornOff int64 // offset the file must be truncated to when torn
+}
+
+// scanSegment walks a segment's records from its header to the first
+// incomplete or corrupt frame. It never fails on a bad tail — deciding
+// whether a bad tail is a torn write (truncate) or corruption (error)
+// is the caller's, because only the caller knows whether this is the
+// final segment.
+func scanSegment(seg *segment) (scanResult, error) {
+	res := scanResult{tornOff: segHeaderLen}
+	off := int64(segHeaderLen)
+	hdr := make([]byte, recHeaderLen)
+	for off < seg.size {
+		if seg.size-off < recHeaderLen {
+			res.torn, res.tornOff = seg.size-off, off
+			return res, nil
+		}
+		if _, err := seg.f.ReadAt(hdr, off); err != nil {
+			return res, fmt.Errorf("store: %s: read at %d: %w", seg.path, off, err)
+		}
+		bodyLen := binary.LittleEndian.Uint32(hdr)
+		crc := binary.LittleEndian.Uint32(hdr[4:])
+		if bodyLen < 4 || int64(bodyLen) > maxRecordBytes || off+recHeaderLen+int64(bodyLen) > seg.size {
+			res.torn, res.tornOff = seg.size-off, off
+			return res, nil
+		}
+		body := make([]byte, bodyLen)
+		if _, err := seg.f.ReadAt(body, off+recHeaderLen); err != nil {
+			return res, fmt.Errorf("store: %s: read at %d: %w", seg.path, off, err)
+		}
+		if crc32.Checksum(body, castagnoli) != crc {
+			res.torn, res.tornOff = seg.size-off, off
+			return res, nil
+		}
+		metaLen := binary.LittleEndian.Uint32(body)
+		if int64(metaLen)+4 > int64(len(body)) {
+			res.torn, res.tornOff = seg.size-off, off
+			return res, nil
+		}
+		var meta RecordMeta
+		if err := json.Unmarshal(body[4:4+metaLen], &meta); err != nil {
+			res.torn, res.tornOff = seg.size-off, off
+			return res, nil
+		}
+		res.records = append(res.records, &record{
+			meta: meta, seg: seg, off: off, bodyLen: bodyLen, crc: crc,
+		})
+		off += recHeaderLen + int64(bodyLen)
+		res.tornOff = off
+	}
+	return res, nil
+}
+
+// listSegments returns the directory's segment ids in ascending order,
+// deleting leftover compaction temporaries on the way (a crash before
+// the compaction rename leaves a *.tmp; it was never visible, so it is
+// simply garbage).
+func listSegments(dir string) ([]int, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var ids []int
+	for _, ent := range ents {
+		if ent.IsDir() {
+			continue
+		}
+		if strings.HasSuffix(ent.Name(), ".tmp") {
+			os.Remove(filepath.Join(dir, ent.Name()))
+			continue
+		}
+		if id := parseSegmentID(ent.Name()); id > 0 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	return ids, nil
+}

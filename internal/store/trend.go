@@ -1,0 +1,293 @@
+package store
+
+// The statistical gate. Single-snapshot comparison (bench.Compare
+// against one pinned BENCH_*.json) answers "did this run match that
+// run"; the trend gate answers the question CI actually has: "is HEAD
+// consistent with recent history, and if not, when did the shift
+// happen?". Two tools:
+//
+//   - a rolling robust gate: HEAD is compared against the median of the
+//     last N archived values with a tolerance scaled by the MAD (median
+//     absolute deviation). Median+MAD, not mean+stddev, because a
+//     history that already contains one regression or one flaky outlier
+//     must not widen the gate for the next one.
+//
+//   - a CUSUM-style changepoint scan: the cumulative sum of deviations
+//     from the series mean peaks at the most likely shift boundary, so
+//     a flagged metric is reported *with the run where it moved*, not
+//     just "worse than baseline".
+//
+// The simulator is deterministic, so a clean history is often perfectly
+// flat (MAD = 0); the relative floor keeps the gate from flagging
+// float noise, and a genuinely flat history flags any real change.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"stacktrack/internal/bench"
+)
+
+// GateConfig shapes the trend gate. Zero values get defaults.
+type GateConfig struct {
+	// Window is how many recent history points the gate considers
+	// (default 20).
+	Window int
+	// MinHistory is the fewest history points needed to gate a metric;
+	// below it the metric passes ungated (default 3).
+	MinHistory int
+	// K scales the MAD into a tolerance band (default 4).
+	K float64
+	// MinRel is the relative tolerance floor (default 0.10) — matching
+	// the rate tolerance of the snapshot gate it replaces.
+	MinRel float64
+}
+
+func (c GateConfig) withDefaults() GateConfig {
+	if c.Window <= 0 {
+		c.Window = 20
+	}
+	if c.MinHistory <= 0 {
+		c.MinHistory = 3
+	}
+	if c.K <= 0 {
+		c.K = 4
+	}
+	if c.MinRel <= 0 {
+		c.MinRel = 0.10
+	}
+	return c
+}
+
+// Changepoint names the run a metric shifted at.
+type Changepoint struct {
+	// Seq is the first run of the new regime (0 when the shift is the
+	// HEAD run under gate — i.e. the regression is new in this run).
+	Seq    uint64 `json:"seq"`
+	Commit string `json:"commit,omitempty"`
+	// Index is the point's position in the scanned series (history
+	// first, HEAD last).
+	Index int `json:"index"`
+	// Shift is the between-regime mean difference.
+	Shift float64 `json:"shift"`
+	// Score is |Shift| in robust-scale units; higher = sharper.
+	Score float64 `json:"score"`
+}
+
+// GateFinding is one metric outside its trend band.
+type GateFinding struct {
+	Experiment string  `json:"experiment"`
+	Series     string  `json:"series"`
+	Threads    int     `json:"threads"`
+	Metric     string  `json:"metric"`
+	Current    float64 `json:"current"`
+	Median     float64 `json:"median"`
+	RelDiff    float64 `json:"rel_diff"`
+	Tol        float64 `json:"tol"`
+	History    int     `json:"history"`
+	// Changepoint is where the scan places the shift (nil when the scan
+	// found no coherent boundary, which still leaves the band violation
+	// standing).
+	Changepoint *Changepoint `json:"changepoint,omitempty"`
+}
+
+func (f GateFinding) String() string {
+	s := fmt.Sprintf("%s [%s t=%d] %s: current %g vs rolling median %g over %d runs (%+.1f%%, tol %.1f%%)",
+		f.Experiment, f.Series, f.Threads, f.Metric,
+		f.Current, f.Median, f.History, 100*signedRel(f.Current, f.Median), 100*f.Tol)
+	if cp := f.Changepoint; cp != nil {
+		if cp.Seq == 0 {
+			s += "; changepoint: this run"
+		} else if cp.Commit != "" {
+			s += fmt.Sprintf("; changepoint at run seq %d (commit %s)", cp.Seq, cp.Commit)
+		} else {
+			s += fmt.Sprintf("; changepoint at run seq %d", cp.Seq)
+		}
+	}
+	return s
+}
+
+// signedRel is (cur-ref)/|ref| (falling back to |cur| at ref=0).
+func signedRel(cur, ref float64) float64 {
+	den := math.Abs(ref)
+	if den == 0 {
+		den = math.Abs(cur)
+	}
+	if den == 0 {
+		return 0
+	}
+	return (cur - ref) / den
+}
+
+// median returns the middle of xs (mean of the middle two when even);
+// xs is not modified.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// mad returns the median absolute deviation of xs around m.
+func mad(xs []float64, m float64) float64 {
+	devs := make([]float64, len(xs))
+	for i, x := range xs {
+		devs[i] = math.Abs(x - m)
+	}
+	return median(devs)
+}
+
+// madScale is the consistency constant turning a MAD into a stddev
+// estimate under normality.
+const madScale = 1.4826
+
+// cusumChangepoint scans xs for the single most likely mean-shift
+// boundary: S_i = Σ_{j≤i}(x_j − mean) peaks in magnitude at the last
+// index of the old regime. Returns the index of the first point of the
+// new regime, the between-mean shift, and the shift magnitude in
+// robust-scale units (0 when no split exists).
+func cusumChangepoint(xs []float64) (idx int, shift, score float64) {
+	n := len(xs)
+	if n < 2 {
+		return 0, 0, 0
+	}
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(n)
+	best, bestAt := 0.0, -1
+	s := 0.0
+	for i := 0; i < n-1; i++ { // a split after the last point is no split
+		s += xs[i] - mean
+		if a := math.Abs(s); a > best {
+			best, bestAt = a, i
+		}
+	}
+	if bestAt < 0 {
+		return 0, 0, 0
+	}
+	idx = bestAt + 1
+	var pre, post float64
+	for i, x := range xs {
+		if i < idx {
+			pre += x
+		} else {
+			post += x
+		}
+	}
+	pre /= float64(idx)
+	post /= float64(n - idx)
+	shift = post - pre
+
+	// Robust scale from the residuals around each regime's own mean, so
+	// the shift itself does not inflate the yardstick.
+	resid := make([]float64, 0, n)
+	for i, x := range xs {
+		if i < idx {
+			resid = append(resid, x-pre)
+		} else {
+			resid = append(resid, x-post)
+		}
+	}
+	scale := madScale * mad(resid, 0)
+	if scale == 0 {
+		// A perfectly clean shift between two flat regimes: any nonzero
+		// shift is infinitely sharp; report a large finite score.
+		if shift != 0 {
+			return idx, shift, math.Inf(1)
+		}
+		return idx, 0, 0
+	}
+	return idx, shift, math.Abs(shift) / scale
+}
+
+// Gate compares head's metrics against their archived trend series.
+// history comes from Store.Trends for the same experiment; findings are
+// returned most-severe first (largest relative excursion).
+func Gate(history []TrendSeries, head *bench.ExperimentJSON, cfg GateConfig) []GateFinding {
+	cfg = cfg.withDefaults()
+	trends := map[seriesKey]*TrendSeries{}
+	for i := range history {
+		t := &history[i]
+		trends[seriesKey{t.Experiment, t.Series, t.Threads, t.Metric}] = t
+	}
+
+	var out []GateFinding
+	for i := range head.Points {
+		p := &head.Points[i]
+		metrics := pointMetrics(p)
+		names := make([]string, 0, len(metrics))
+		for name := range metrics {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, metric := range names {
+			cur := metrics[metric]
+			t := trends[seriesKey{head.ID, p.Series, p.Threads, metric}]
+			if t == nil || len(t.Points) < cfg.MinHistory {
+				continue // not enough memory to judge — pass ungated
+			}
+			pts := t.Points
+			if len(pts) > cfg.Window {
+				pts = pts[len(pts)-cfg.Window:]
+			}
+			values := make([]float64, len(pts))
+			for j, tp := range pts {
+				values[j] = tp.Value
+			}
+			m := median(values)
+			scale := madScale * mad(values, m)
+			tol := cfg.MinRel
+			den := math.Max(math.Abs(m), math.Abs(cur))
+			if den > 0 && cfg.K*scale/den > tol {
+				tol = cfg.K * scale / den
+			}
+			rel := 0.0
+			if den > 0 {
+				rel = math.Abs(cur-m) / den
+			}
+			if rel <= tol {
+				continue
+			}
+			f := GateFinding{
+				Experiment: head.ID, Series: p.Series, Threads: p.Threads,
+				Metric: metric, Current: cur, Median: m,
+				RelDiff: rel, Tol: tol, History: len(values),
+			}
+			// Where did it move? Scan history plus HEAD; an excursion new
+			// in this run places the boundary at the synthetic last index.
+			scan := append(append([]float64(nil), values...), cur)
+			if idx, shift, score := cusumChangepoint(scan); score > 0 && shift != 0 {
+				cp := &Changepoint{Index: idx, Shift: shift, Score: score}
+				if idx < len(pts) {
+					cp.Seq = pts[idx].Seq
+					cp.Commit = pts[idx].Commit
+				}
+				f.Changepoint = cp
+			}
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].RelDiff != out[j].RelDiff {
+			return out[i].RelDiff > out[j].RelDiff
+		}
+		a, b := out[i], out[j]
+		if a.Series != b.Series {
+			return a.Series < b.Series
+		}
+		if a.Threads != b.Threads {
+			return a.Threads < b.Threads
+		}
+		return a.Metric < b.Metric
+	})
+	return out
+}

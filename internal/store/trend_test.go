@@ -1,0 +1,238 @@
+package store
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"stacktrack/internal/bench"
+)
+
+func TestCusumChangepoint(t *testing.T) {
+	// Clean shift between two flat regimes: exact boundary, infinite
+	// sharpness.
+	idx, shift, score := cusumChangepoint([]float64{10, 10, 10, 10, 7, 7, 7})
+	if idx != 4 || shift != -3 || !math.IsInf(score, 1) {
+		t.Fatalf("clean shift: idx=%d shift=%g score=%g", idx, shift, score)
+	}
+	// Noisy shift: boundary still found, finite score.
+	idx, shift, score = cusumChangepoint([]float64{10.1, 9.9, 10.0, 10.2, 7.1, 6.9, 7.0})
+	if idx != 4 || shift > -2.5 || math.IsInf(score, 1) || score < 3 {
+		t.Fatalf("noisy shift: idx=%d shift=%g score=%g", idx, shift, score)
+	}
+	// No shift at all: flat series scores zero.
+	if _, _, score := cusumChangepoint([]float64{5, 5, 5, 5}); score != 0 {
+		t.Fatalf("flat series score = %g", score)
+	}
+	// Degenerate inputs.
+	if idx, _, _ := cusumChangepoint(nil); idx != 0 {
+		t.Fatal("nil series")
+	}
+	if idx, _, _ := cusumChangepoint([]float64{1}); idx != 0 {
+		t.Fatal("singleton series")
+	}
+}
+
+func TestMedianAndMad(t *testing.T) {
+	if m := median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("median odd = %g", m)
+	}
+	if m := median([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Fatalf("median even = %g", m)
+	}
+	if m := median(nil); m != 0 {
+		t.Fatalf("median nil = %g", m)
+	}
+	if d := mad([]float64{1, 2, 3, 4, 100}, 3); d != 1 {
+		t.Fatalf("mad = %g", d) // the outlier does not blow up the scale
+	}
+}
+
+// trendHistory builds a throughput trend series from explicit values,
+// seqs 1..n.
+func trendHistory(exp, series string, threads int, values ...float64) []TrendSeries {
+	pts := make([]TrendPoint, len(values))
+	for i, v := range values {
+		pts[i] = TrendPoint{Seq: uint64(i + 1), Commit: fmt.Sprintf("c%d", i+1), Value: v}
+	}
+	return []TrendSeries{{
+		Experiment: exp, Series: series, Threads: threads,
+		Metric: "throughput", Points: pts,
+	}}
+}
+
+// headPoint builds a HEAD experiment document with one point.
+func headPoint(exp, series string, threads int, tput float64) *bench.ExperimentJSON {
+	return &bench.ExperimentJSON{
+		Schema: bench.SchemaVersion, ID: exp, Name: exp,
+		Points: []bench.PointJSON{{Series: series, Threads: threads, Ops: 1, Throughput: tput}},
+	}
+}
+
+// TestGatePassesCleanHistory: a deterministic simulator produces a
+// perfectly flat history; an identical HEAD run must pass.
+func TestGatePassesCleanHistory(t *testing.T) {
+	hist := trendHistory("E1a", "StackTrack", 4, 100, 100, 100, 100, 100)
+	if findings := Gate(hist, headPoint("E1a", "StackTrack", 4, 100), GateConfig{}); len(findings) != 0 {
+		t.Fatalf("clean history flagged: %+v", findings)
+	}
+	// Small drift inside the relative floor also passes.
+	if findings := Gate(hist, headPoint("E1a", "StackTrack", 4, 95), GateConfig{}); len(findings) != 0 {
+		t.Fatalf("5%% drift flagged: %+v", findings)
+	}
+}
+
+// TestGateFlagsRegression: a 15% throughput drop against 5 flat history
+// points is flagged, naming the metric, the experiment, and the HEAD
+// run as the changepoint.
+func TestGateFlagsRegression(t *testing.T) {
+	hist := trendHistory("E1a", "StackTrack", 4, 100, 100, 100, 100, 100)
+	findings := Gate(hist, headPoint("E1a", "StackTrack", 4, 85), GateConfig{})
+	if len(findings) != 1 {
+		t.Fatalf("findings = %+v", findings)
+	}
+	f := findings[0]
+	if f.Experiment != "E1a" || f.Metric != "throughput" || f.Series != "StackTrack" || f.Threads != 4 {
+		t.Fatalf("finding = %+v", f)
+	}
+	if f.Median != 100 || f.Current != 85 || f.RelDiff < 0.14 {
+		t.Fatalf("finding math = %+v", f)
+	}
+	if f.Changepoint == nil || f.Changepoint.Seq != 0 || f.Changepoint.Index != 5 {
+		t.Fatalf("changepoint = %+v", f.Changepoint)
+	}
+	msg := f.String()
+	for _, want := range []string{"E1a", "throughput", "changepoint: this run"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("finding text %q lacks %q", msg, want)
+		}
+	}
+}
+
+// TestGateNamesHistoricChangepoint: the regression landed one run ago;
+// the scan pins the boundary to that archived run, by seq and commit.
+func TestGateNamesHistoricChangepoint(t *testing.T) {
+	hist := trendHistory("E1a", "StackTrack", 4, 100, 100, 100, 100, 100, 85)
+	findings := Gate(hist, headPoint("E1a", "StackTrack", 4, 85), GateConfig{})
+	if len(findings) != 1 {
+		t.Fatalf("findings = %+v", findings)
+	}
+	cp := findings[0].Changepoint
+	if cp == nil || cp.Seq != 6 || cp.Commit != "c6" {
+		t.Fatalf("changepoint = %+v", cp)
+	}
+	if !strings.Contains(findings[0].String(), "changepoint at run seq 6 (commit c6)") {
+		t.Fatalf("finding text = %q", findings[0].String())
+	}
+}
+
+// TestGateRobustToOutlier: one flaky spike in the history must not
+// widen the gate (median/MAD, not mean/stddev) — a real regression is
+// still caught.
+func TestGateRobustToOutlier(t *testing.T) {
+	hist := trendHistory("E1a", "StackTrack", 4, 100, 100, 250, 100, 100)
+	findings := Gate(hist, headPoint("E1a", "StackTrack", 4, 85), GateConfig{})
+	if len(findings) != 1 {
+		t.Fatalf("outlier widened the gate: %+v", findings)
+	}
+	if findings[0].Median != 100 {
+		t.Fatalf("median = %g", findings[0].Median)
+	}
+}
+
+// TestGateNoisyHistoryWidensTolerance: genuine run-to-run spread widens
+// the band proportionally — the same absolute excursion that fails a
+// flat history passes a noisy one.
+func TestGateNoisyHistoryWidensTolerance(t *testing.T) {
+	hist := trendHistory("E1a", "StackTrack", 4, 100, 94, 106, 91, 109, 97, 103)
+	if findings := Gate(hist, headPoint("E1a", "StackTrack", 4, 85), GateConfig{}); len(findings) != 0 {
+		t.Fatalf("noisy history flagged within its own spread: %+v", findings)
+	}
+}
+
+func TestGateMinHistoryAndWindow(t *testing.T) {
+	// Too little memory to judge: pass ungated.
+	hist := trendHistory("E1a", "StackTrack", 4, 100, 100)
+	if findings := Gate(hist, headPoint("E1a", "StackTrack", 4, 10), GateConfig{}); len(findings) != 0 {
+		t.Fatalf("2-point history gated: %+v", findings)
+	}
+	// Window: ancient regime outside the window is invisible; the gate
+	// judges against the recent 100s only.
+	vals := []float64{500, 500, 500, 100, 100, 100, 100, 100}
+	hist = trendHistory("E1a", "StackTrack", 4, vals...)
+	findings := Gate(hist, headPoint("E1a", "StackTrack", 4, 100), GateConfig{Window: 5})
+	if len(findings) != 0 {
+		t.Fatalf("windowed gate saw the ancient regime: %+v", findings)
+	}
+	// No matching series at all: pass.
+	if findings := Gate(hist, headPoint("E9", "Hazard", 2, 1), GateConfig{}); len(findings) != 0 {
+		t.Fatalf("unmatched series gated: %+v", findings)
+	}
+}
+
+// TestGateSortsBySeverity: multiple findings come back most-severe
+// first.
+func TestGateSortsBySeverity(t *testing.T) {
+	hist := append(
+		trendHistory("E1a", "StackTrack", 2, 100, 100, 100, 100),
+		trendHistory("E1a", "StackTrack", 4, 100, 100, 100, 100)...)
+	head := &bench.ExperimentJSON{
+		Schema: bench.SchemaVersion, ID: "E1a", Name: "E1a",
+		Points: []bench.PointJSON{
+			{Series: "StackTrack", Threads: 2, Ops: 1, Throughput: 80}, // -20%
+			{Series: "StackTrack", Threads: 4, Ops: 1, Throughput: 50}, // -50%
+		},
+	}
+	findings := Gate(hist, head, GateConfig{})
+	if len(findings) != 2 {
+		t.Fatalf("findings = %+v", findings)
+	}
+	if findings[0].Threads != 4 || findings[1].Threads != 2 {
+		t.Fatalf("severity order wrong: %+v", findings)
+	}
+}
+
+// TestGateEndToEndFromStore: archive >= 5 runs, extract trends, gate an
+// unmodified HEAD (pass) and a 15%-degraded HEAD (fail with the right
+// changepoint) — the acceptance scenario, against real store plumbing.
+func TestGateEndToEndFromStore(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 5; i++ {
+		appendDoc(t, s, fmt.Sprintf("run-%d", i), testDoc(t, "E1a", 4, 200))
+	}
+	trends, err := s.Trends(Query{Experiment: "E1a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// HEAD documents built the same way the archive's were, so every
+	// metric (ops, derived rates) lines up except the one under test.
+	headDoc := func(tput float64) *bench.ExperimentJSON {
+		doc, err := bench.DecodeResults(testDoc(t, "E1a", 4, tput))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return doc.Experiments[0]
+	}
+	if findings := Gate(trends, headDoc(200), GateConfig{}); len(findings) != 0 {
+		t.Fatalf("unmodified run flagged: %+v", findings)
+	}
+	findings := Gate(trends, headDoc(170), GateConfig{})
+	var hit *GateFinding
+	for i := range findings {
+		if findings[i].Metric == "throughput" {
+			hit = &findings[i]
+		}
+	}
+	if hit == nil {
+		t.Fatalf("15%% drop not flagged: %+v", findings)
+	}
+	if hit.Experiment != "E1a" || hit.Changepoint == nil || hit.Changepoint.Seq != 0 {
+		t.Fatalf("finding = %+v changepoint = %+v", hit, hit.Changepoint)
+	}
+}
