@@ -57,6 +57,8 @@ func main() {
 		tol        = flag.Float64("tol", 0.10, "relative tolerance for throughput and derived rates in -compare")
 		counterTol = flag.Float64("counter-tol", 0, "relative tolerance for raw counters in -compare (0 = exact)")
 		profile    = flag.Bool("profile", false, "enable the virtual-cycle profiler on every point")
+		checkEff   = flag.Bool("check-effects", false, "arm the effect-soundness oracle on every point (declared effects vs executed accesses)")
+		noElide    = flag.Bool("no-scan-elide", false, "disable dataflow-driven scan elision (scan every frame word and register)")
 	)
 	flag.Parse()
 
@@ -83,6 +85,8 @@ func main() {
 	}
 	opts.Seed = *seed
 	opts.Profile = *profile
+	opts.CheckEffects = *checkEff
+	opts.NoScanElide = *noElide
 	if *threads != "" {
 		parsed, err := cli.ParseIntList(*threads)
 		if err != nil {
@@ -93,6 +97,23 @@ func main() {
 	}
 	if *verbose {
 		opts.Progress = os.Stderr
+	}
+
+	// The effect-soundness oracle fills Result.San per point; watch the
+	// points as they complete so a violation fails the whole run loudly
+	// instead of vanishing with the Result.
+	var effViolations uint64
+	var effFirst string
+	if *checkEff {
+		opts.Collect = func(series string, threadCount int, res *bench.Result) {
+			if res.San == nil || res.San.EffectViolations == 0 {
+				return
+			}
+			effViolations += res.San.EffectViolations
+			if effFirst == "" && len(res.San.Effects) > 0 {
+				effFirst = res.San.Effects[0].String()
+			}
+		}
 	}
 
 	// Selection: -run entries plus positional names; empty = everything.
@@ -220,5 +241,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "stbench: skipping -compare: the run is incomplete\n")
 		}
 		os.Exit(cli.ExitInterrupted)
+	}
+	if effViolations > 0 {
+		fmt.Fprintf(os.Stderr, "stbench: %d effect violation(s); first: %s\n", effViolations, effFirst)
+		os.Exit(cli.ExitFailure)
 	}
 }

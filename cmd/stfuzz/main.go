@@ -63,6 +63,7 @@ func main() {
 		preemptProb = flag.Float64("preempt-prob", 0, "random walk forced-preemption probability (0 = default)")
 		checkLin    = flag.Bool("check-lin", false, "enable the per-key linearizability oracle")
 		checkRaces  = flag.Bool("check-races", false, "enable the sanitizer and its race oracle (vector-clock races, shadow-memory UAF)")
+		checkEff    = flag.Bool("check-effects", false, "enable the effect-soundness oracle (declared Reads/Writes/LoadsPtr/Kills vs executed accesses)")
 
 		budget  = flag.Duration("budget", 30*time.Second, "wall-clock exploration budget")
 		maxRuns = flag.Int("max-runs", 0, "stop after this many runs (0 = unlimited)")
@@ -94,7 +95,7 @@ func main() {
 		Structure: *ds, Scheme: *scheme, Threads: *threads, Seed: *seed,
 		InitialSize: *initial, KeyRange: *keyrange, MutatePct: *mutate,
 		Strategy: *strategy, Depth: *depth, PreemptProb: *preemptProb,
-		CheckLin: *checkLin, CheckRaces: *checkRaces,
+		CheckLin: *checkLin, CheckRaces: *checkRaces, CheckEffects: *checkEff,
 	}
 	if *measureMs > 0 {
 		cfg.MeasureCycles = cost.FromSeconds(*measureMs / 1000)

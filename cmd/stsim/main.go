@@ -59,7 +59,10 @@ func main() {
 		traceN    = flag.Int("trace", 0, "record and print up to N simulation events")
 		profile   = flag.Bool("profile", false, "attribute virtual cycles to phases and print the breakdown")
 		sanitize  = flag.Bool("sanitize", false, "enable the dynamic sanitizer (vector-clock races, shadow-memory UAF) and print its report")
+		checkEff  = flag.Bool("check-effects", false, "check executed register/frame accesses against each block's declared effects")
+		noElide   = flag.Bool("no-scan-elide", false, "disable dataflow-driven scan elision (scan every frame word and register)")
 		lint      = flag.Bool("lint", false, "statically verify every compiled operation's IR and exit")
+		dataflow  = flag.Bool("dataflow", false, "with -lint: print each operation's pointer-taint/liveness facts and scan track mask; fail on fact-free ops")
 		folded    = flag.String("folded", "", "write folded stacks (flamegraph.pl input) to this file; implies -profile")
 
 		checkpointAt  = flag.Float64("checkpoint-at", 0, "checkpoint at this virtual time (ms), then continue")
@@ -70,7 +73,7 @@ func main() {
 	flag.Parse()
 
 	if *lint {
-		os.Exit(runLint())
+		os.Exit(runLint(*dataflow))
 	}
 
 	cfg := bench.Config{
@@ -86,6 +89,8 @@ func main() {
 		TraceEvents:   *traceN,
 		Profile:       *profile || *folded != "",
 		Sanitize:      *sanitize,
+		CheckEffects:  *checkEff,
+		NoScanElide:   *noElide,
 	}
 	cfg.Core.ForceSlowPct = *slowPct
 	cfg.Core.MaxFree = *maxFree

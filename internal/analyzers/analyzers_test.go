@@ -207,3 +207,39 @@ func moduleRoot() (string, error) {
 		dir = parent
 	}
 }
+
+// --- effectdecl --------------------------------------------------------------
+
+func TestEffectDeclFlagsMissingEffects(t *testing.T) {
+	fs := runOn(t, EffectDecl, "internal/ds", `package ds
+func build(b *Builder) {
+	b.Add(blk, prog.Returns(), prog.SetsResult())
+}`)
+	wantFindings(t, fs, 1, "no effects")
+}
+
+func TestEffectDeclAcceptsDeclaredEffects(t *testing.T) {
+	fs := runOn(t, EffectDecl, "internal/ds", `package ds
+func build(b *Builder) {
+	b.Add(blk, prog.Returns(), prog.Reads(prog.F(0)))
+	b.Add(blk2, prog.Goto(&l), prog.NoEffects())
+	b.AddUnsupported(blk3, prog.Returns(), prog.Writes(prog.R(0)), prog.Kills(prog.R(0)))
+}`)
+	wantFindings(t, fs, 0, "")
+}
+
+func TestEffectDeclIgnoresLegacyBareAdds(t *testing.T) {
+	fs := runOn(t, EffectDecl, "internal/ds", `package ds
+func build(b *Builder) {
+	b.Add(blk)
+}`)
+	wantFindings(t, fs, 0, "")
+}
+
+func TestEffectDeclScopedToDS(t *testing.T) {
+	fs := runOn(t, EffectDecl, "internal/prog", `package prog
+func build(b *Builder) {
+	b.Add(blk, Returns())
+}`)
+	wantFindings(t, fs, 0, "")
+}

@@ -27,6 +27,14 @@ type Options struct {
 	// Sanitize enables the dynamic-analysis layer on every point (fills
 	// Result.San; never changes simulated results).
 	Sanitize bool
+	// CheckEffects arms the effect-soundness oracle on every point
+	// (fills Result.San.EffectViolations; never changes simulated
+	// results).
+	CheckEffects bool
+	// NoScanElide disables dataflow-driven scan elision on every point:
+	// scans walk every frame word and register as the seed did.
+	// Experiments that own the ablation (E16) override it per variant.
+	NoScanElide bool
 	// Collect, if non-nil, observes every completed point as it finishes:
 	// the series label (scheme or variant), the thread count, and the
 	// full Result. The JSON exporter hooks in here.
@@ -82,6 +90,8 @@ func (o Options) cfg(structure, scheme string, threads int) Config {
 		MeasureCycles: cost.FromSeconds(o.MeasureMs / 1000),
 		Profile:       o.Profile,
 		Sanitize:      o.Sanitize,
+		CheckEffects:  o.CheckEffects,
+		NoScanElide:   o.NoScanElide,
 	}
 }
 
@@ -412,6 +422,57 @@ func AblationPredictor(o Options) (*Table, error) {
 	return tb, nil
 }
 
+// AblationScanElide measures the dataflow scan-elision win (E16): the
+// list benchmark under StackTrack with a scan per free (the scan-heavy
+// regime of TableScanStats), comparing the per-operation track masks from
+// the pointer-taint/liveness pass against the paper's full stack+register
+// scan. "scanned" counts candidate words actually inspected; "elided"
+// counts words the masks proved never hold a live heap pointer.
+func AblationScanElide(o Options) (*Table, error) {
+	o = o.WithDefaults()
+	tb := &Table{
+		Title: "Ablation — dataflow scan elision (list, scan per free)",
+		Note:  "elide = per-op track masks from internal/prog/dataflow; full = every stack word and register",
+		Cols: []string{"threads",
+			"ops/s(elide)", "scanned(elide)", "elided",
+			"ops/s(full)", "scanned(full)", "saved%"},
+	}
+	for _, n := range o.SweepThreads(o.Threads) {
+		row := []string{fmt.Sprintf("%d", n)}
+		var scannedElide uint64
+		for _, off := range []bool{false, true} {
+			cfg := o.cfg(StructList, SchemeStackTrack, n)
+			cfg.Core.MaxFree = 1
+			cfg.NoScanElide = off
+			res, err := o.run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			variant := "elide"
+			if off {
+				variant = "full"
+			}
+			o.collect(variant, n, res)
+			if off {
+				saved := 0.0
+				if res.Core.ScannedWords > 0 {
+					saved = 100 * (1 - float64(scannedElide)/float64(res.Core.ScannedWords))
+				}
+				row = append(row, f0(res.Throughput),
+					fmt.Sprintf("%d", res.Core.ScannedWords), fmt.Sprintf("%.1f%%", saved))
+			} else {
+				scannedElide = res.Core.ScannedWords
+				row = append(row, f0(res.Throughput),
+					fmt.Sprintf("%d", res.Core.ScannedWords),
+					fmt.Sprintf("%d", res.Core.ElidedWords))
+			}
+			o.progress("ablation-scanelide %s threads=%d: %.0f ops/s scanned=%d", variant, n, res.Throughput, res.Core.ScannedWords)
+		}
+		tb.AddRow(row...)
+	}
+	return tb, nil
+}
+
 // ExtensionSchemes compares every reclamation scheme — including reference
 // counting, which the paper surveys but does not plot ("hazard pointers can
 // be seen as an upper bound on the performance of reference-counting
@@ -550,6 +611,7 @@ var Experiments = []Experiment{
 	{Name: "extension-crash", ID: "E9", Run: ExtensionCrash, Axis: crashAxis},
 	{Name: "extension-bigmachine", ID: "E10", Run: ExtensionBigMachine,
 		Axis: func(Options) []int { return BigMachineThreads }},
+	{Name: "ablation-scanelide", ID: "E16", Alias: "scanelide", Run: AblationScanElide},
 }
 
 // FindExperiment resolves a user-supplied name against every experiment's

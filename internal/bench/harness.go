@@ -15,6 +15,7 @@ import (
 	"stacktrack/internal/mem"
 	"stacktrack/internal/metrics"
 	"stacktrack/internal/prog"
+	"stacktrack/internal/prog/dataflow"
 	"stacktrack/internal/reclaim"
 	"stacktrack/internal/rng"
 	"stacktrack/internal/sanitize"
@@ -125,6 +126,19 @@ type Config struct {
 	// checking, reported in Result.San. Like Profile, it observes only —
 	// simulated results are bit-identical with it on or off.
 	Sanitize bool
+
+	// NoScanElide disables dataflow-driven scan elision for StackTrack
+	// runs (the E16 ablation). By default the harness computes a track
+	// mask for every effect-annotated operation and the scanner skips
+	// words proven never to hold a live heap pointer.
+	NoScanElide bool
+
+	// CheckEffects enables the dynamic effect-soundness oracle: every
+	// block execution's register and frame accesses are checked against
+	// the operation's declared Reads/Writes/LoadsPtr/Kills sets, reported
+	// in Result.San.Effects. Observes only — simulated results are
+	// bit-identical with it on or off.
+	CheckEffects bool
 }
 
 // WithDefaults fills unset fields with the paper's parameters.
@@ -254,6 +268,7 @@ type instance struct {
 	reg  *metrics.Registry
 	prof *metrics.Profiler
 	san  *sanitize.Sanitizer
+	eff  *sanitize.EffectChecker // nil unless Config.CheckEffects
 
 	threads []*sched.Thread
 	drivers []*prog.Driver
@@ -381,6 +396,31 @@ func newInstance(cfg Config) (*instance, error) {
 		return nil, err
 	}
 	in.baseline = baseline
+
+	// Static dataflow: hand the scanner a track mask for every operation
+	// whose effect annotations yield complete facts.
+	if in.st != nil && !cfg.NoScanElide {
+		masks := make(map[int]dataflow.TrackMask, len(in.ops))
+		for id, op := range in.ops {
+			if f := dataflow.Analyze(op); f.Complete {
+				masks[id] = f.Mask
+			}
+		}
+		in.st.SetMasks(masks)
+	}
+
+	// Dynamic effect oracle: check every block execution's register and
+	// frame accesses against the declared effect sets the dataflow pass
+	// (and therefore the elision masks) trusts.
+	if cfg.CheckEffects {
+		in.eff = sanitize.NewEffectChecker(cfg.Threads, in.al)
+		for _, op := range in.ops {
+			in.eff.AddOps(op)
+		}
+		for _, t := range in.threads {
+			t.EffectObs = in.eff
+		}
+	}
 
 	for _, t := range in.threads {
 		d := &prog.Driver{
@@ -609,6 +649,13 @@ func (in *instance) finish() (*Result, error) {
 	res.Histories = in.histories
 	if in.san != nil {
 		res.San = in.san.Summary()
+	}
+	if in.eff != nil {
+		if res.San == nil {
+			res.San = &sanitize.Summary{}
+		}
+		res.San.EffectViolations = in.eff.Violations
+		res.San.Effects = in.eff.Findings
 	}
 	return res, nil
 }

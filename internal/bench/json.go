@@ -113,6 +113,7 @@ func RunExperimentJSON(e *Experiment, o Options) (*ExperimentJSON, *Table, error
 			Profile:   o.Profile,
 		},
 	}
+	prev := o.Collect // chain, don't clobber, a caller-installed observer
 	o.Collect = func(series string, threads int, res *Result) {
 		out.Points = append(out.Points, PointJSON{
 			Series:          series,
@@ -124,6 +125,9 @@ func RunExperimentJSON(e *Experiment, o Options) (*ExperimentJSON, *Table, error
 			Metrics:         res.Metrics,
 			Profile:         res.Profile,
 		})
+		if prev != nil {
+			prev(series, threads, res)
+		}
 	}
 	tb, err := e.Run(o)
 	if err != nil {

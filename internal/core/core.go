@@ -12,6 +12,7 @@ import (
 	"stacktrack/internal/alloc"
 	"stacktrack/internal/cost"
 	"stacktrack/internal/metrics"
+	"stacktrack/internal/prog/dataflow"
 	"stacktrack/internal/sched"
 	"stacktrack/internal/word"
 )
@@ -106,6 +107,7 @@ type Stats struct {
 	ScanRestarts  uint64 // per-thread inspection restarts (Alg. 1 line 27)
 	ScannedWords  uint64 // stack/register/ref-set words inspected
 	ScannedDepth  uint64 // stack words inspected (for avg stack depth)
+	ElidedWords   uint64 // words skipped by the dataflow track mask
 	ScanTargets   uint64 // (ptr, thread) inspections performed
 	Frees         uint64 // objects handed to FREE
 	Freed         uint64 // objects actually released to the allocator
@@ -163,6 +165,7 @@ type coreCounters struct {
 	scanRestarts  *metrics.Counter
 	scannedWords  *metrics.Counter
 	scannedDepth  *metrics.Counter
+	elidedWords   *metrics.Counter
 	scanTargets   *metrics.Counter
 	frees         *metrics.Counter
 	freed         *metrics.Counter
@@ -185,6 +188,7 @@ func newCoreCounters(r *metrics.Registry) coreCounters {
 		scanRestarts:  r.Counter("core.scan_restarts"),
 		scannedWords:  r.Counter("core.scanned_words"),
 		scannedDepth:  r.Counter("core.scanned_depth"),
+		elidedWords:   r.Counter("core.elided_words"),
 		scanTargets:   r.Counter("core.scan_targets"),
 		frees:         r.Counter("core.frees"),
 		freed:         r.Counter("core.freed"),
@@ -206,6 +210,10 @@ type StackTrack struct {
 	// slowCount is the global slow-path counter (§5.4): scans consult the
 	// per-thread reference sets whenever it is non-zero.
 	slowCount int
+
+	// masks holds the per-operation scan track masks (see elide.go); nil
+	// means every word is scanned.
+	masks map[int]dataflow.TrackMask
 
 	threads [64]*tstate
 
@@ -251,6 +259,7 @@ func (st *StackTrack) ThreadStats(tid int) *Stats {
 		ScanRestarts:  c.scanRestarts.Lane(tid),
 		ScannedWords:  c.scannedWords.Lane(tid),
 		ScannedDepth:  c.scannedDepth.Lane(tid),
+		ElidedWords:   c.elidedWords.Lane(tid),
 		ScanTargets:   c.scanTargets.Lane(tid),
 		Frees:         c.frees.Lane(tid),
 		Freed:         c.freed.Lane(tid),
@@ -274,6 +283,7 @@ func (st *StackTrack) TotalStats() Stats {
 		ScanRestarts:  c.scanRestarts.Value(),
 		ScannedWords:  c.scannedWords.Value(),
 		ScannedDepth:  c.scannedDepth.Value(),
+		ElidedWords:   c.elidedWords.Value(),
 		ScanTargets:   c.scanTargets.Value(),
 		Frees:         c.frees.Value(),
 		Freed:         c.freed.Value(),
@@ -297,6 +307,7 @@ func (st *StackTrack) ResetStats() {
 	c.scanRestarts.Reset()
 	c.scannedWords.Reset()
 	c.scannedDepth.Reset()
+	c.elidedWords.Reset()
 	c.scanTargets.Reset()
 	c.frees.Reset()
 	c.freed.Reset()

@@ -15,6 +15,7 @@ package core
 // reproduces exactly that comparison.
 
 import (
+	"stacktrack/internal/prog/dataflow"
 	"stacktrack/internal/sched"
 	"stacktrack/internal/word"
 )
@@ -37,6 +38,11 @@ type hashedScanState struct {
 
 	// held collects the canonicalized object starts referenced anywhere.
 	held map[word.Addr]struct{}
+
+	// mask is the victim's current-operation track mask (nil: scan all);
+	// fbase is the stack index of the operation's frame base.
+	mask  *dataflow.TrackMask
+	fbase int
 
 	ended bool
 }
@@ -78,7 +84,8 @@ func (s *hashedScanState) step(t *sched.Thread) bool {
 
 	switch s.phase {
 	case phasePickVictim:
-		if v.Done() || t.LoadPlain(v.ActivityAddr()) == 0 {
+		act := t.LoadPlain(v.ActivityAddr())
+		if v.Done() || act == 0 {
 			s.ti++
 			return false
 		}
@@ -88,6 +95,7 @@ func (s *hashedScanState) step(t *sched.Thread) bool {
 		if s.sp > sched.StackWords {
 			s.sp = sched.StackWords
 		}
+		s.mask, s.fbase = s.st.victimMask(act, s.sp)
 		s.pos = 0
 		s.st.c.scanTargets.Inc(t.ID)
 		s.phase = phaseStack
@@ -97,22 +105,42 @@ func (s *hashedScanState) step(t *sched.Thread) bool {
 		if end > s.sp {
 			end = s.sp
 		}
+		loaded := 0
 		for ; s.pos < end; s.pos++ {
+			if s.mask != nil && !maskTracksStack(s.mask, s.fbase, s.pos) {
+				s.st.c.elidedWords.Inc(t.ID)
+				continue
+			}
 			s.note(t.LoadPlain(v.StackBase + word.Addr(s.pos)))
+			loaded++
 			s.st.c.scannedWords.Inc(t.ID)
 			s.st.c.scannedDepth.Inc(t.ID)
 		}
-		chargeWords(t, s.st.cfg.ScanChunkWords)
+		if s.mask != nil {
+			chargeWords(t, loaded)
+		} else {
+			chargeWords(t, s.st.cfg.ScanChunkWords)
+		}
 		if s.pos >= s.sp {
 			s.phase = phaseRegs
 		}
 
 	case phaseRegs:
+		loaded := 0
 		for i := 0; i < sched.NumRegs; i++ {
+			if s.mask != nil && !maskTracksReg(s.mask, i) {
+				s.st.c.elidedWords.Inc(t.ID)
+				continue
+			}
 			s.note(t.LoadPlain(v.RegsBase + word.Addr(i)))
+			loaded++
 			s.st.c.scannedWords.Inc(t.ID)
 		}
-		chargeWords(t, sched.NumRegs)
+		if s.mask != nil {
+			chargeWords(t, loaded)
+		} else {
+			chargeWords(t, sched.NumRegs)
+		}
 		if s.slowActive {
 			s.refsLen = int(t.LoadPlain(v.RefsLenAddr()))
 			if s.refsLen > sched.RefsWords {
@@ -149,6 +177,9 @@ func (s *hashedScanState) step(t *sched.Thread) bool {
 			if s.sp > sched.StackWords {
 				s.sp = sched.StackWords
 			}
+			// Same operation invocation (operPre == operPost), but the
+			// frame geometry may have changed with sp.
+			s.mask, s.fbase = s.st.victimMask(t.LoadPlain(v.ActivityAddr()), s.sp)
 			s.pos = 0
 			s.phase = phaseStack
 			return false

@@ -184,7 +184,11 @@ func (r *Runner) stepUnsupported(t *sched.Thread) bool {
 		v0 = t.VTime()
 	}
 	t.Charge(cost.Block)
-	r.pc = r.op.Blocks[r.pc](t, r.frame)
+	if t.EffectObs != nil {
+		r.pc = r.runBlockObserved(t, cur)
+	} else {
+		r.pc = r.op.Blocks[r.pc](t, r.frame)
+	}
 	if t.Prof != nil {
 		t.Prof.SpanBlock(sp, r.op.ID, cur, r.op.Name, uint64(t.VTime()-v0))
 	}
@@ -200,6 +204,21 @@ func (r *Runner) stepUnsupported(t *sched.Thread) bool {
 		r.beginScan(t, stFast)
 	}
 	return false
+}
+
+// runBlockObserved executes one basic block bracketed by the effect
+// observer's BlockStart/BlockEnd events. An abort panic unwinding through
+// the block reports committed=false — the execution was partial and its
+// writes rolled back, so must-write obligations do not apply — before the
+// runner's recovery handles it.
+func (r *Runner) runBlockObserved(t *sched.Thread, cur int) int {
+	obs := t.EffectObs
+	obs.BlockStart(t, r.op.Name, cur)
+	done := false
+	defer func() { obs.BlockEnd(t, r.op.Name, cur, done) }()
+	next := r.op.Blocks[cur](t, r.frame)
+	done = true
+	return next
 }
 
 // guardedCommit attempts a segment commit (with register/counter expose
@@ -282,7 +301,11 @@ func (r *Runner) fastWork(t *sched.Thread) (finished bool, abort mem.AbortReason
 	cur := r.pc
 	t.CurOp, t.CurBlock = r.op.Name, cur
 	t.Charge(cost.Block + cost.Checkpoint)
-	r.pc = r.op.Blocks[r.pc](t, r.frame)
+	if t.EffectObs != nil {
+		r.pc = r.runBlockObserved(t, cur)
+	} else {
+		r.pc = r.op.Blocks[r.pc](t, r.frame)
+	}
 	r.steps++
 
 	// SPLIT_CHECKPOINT policy. Programmer-defined transactional regions
@@ -406,7 +429,11 @@ func (r *Runner) stepSlow(t *sched.Thread) bool {
 		v0 = t.VTime()
 	}
 	t.Charge(cost.Block)
-	r.pc = r.op.Blocks[r.pc](t, r.frame)
+	if t.EffectObs != nil {
+		r.pc = r.runBlockObserved(t, cur)
+	} else {
+		r.pc = r.op.Blocks[r.pc](t, r.frame)
+	}
 	if t.Prof != nil {
 		t.Prof.SpanBlock(sp, r.op.ID, cur, r.op.Name, uint64(t.VTime()-v0))
 	}

@@ -12,6 +12,7 @@ package core
 // concurrent segment commits, exactly as in the paper.
 
 import (
+	"stacktrack/internal/prog/dataflow"
 	"stacktrack/internal/sched"
 	"stacktrack/internal/word"
 )
@@ -49,6 +50,11 @@ type scanState struct {
 	hit     bool
 	freed   uint64
 	ended   bool
+
+	// mask is the victim's current-operation track mask (nil: scan all);
+	// fbase is the stack index of the operation's frame base.
+	mask  *dataflow.TrackMask
+	fbase int
 }
 
 // startScan returns the configured scan state machine over a snapshot of
@@ -112,7 +118,8 @@ func (s *scanState) step(t *sched.Thread) bool {
 		v := s.victims[s.ti]
 		// Idle threads hold no operation-local references; skip them
 		// (§6 "a scan does not always need to consider all threads").
-		if v.Done() || t.LoadPlain(v.ActivityAddr()) == 0 {
+		act := t.LoadPlain(v.ActivityAddr())
+		if v.Done() || act == 0 {
 			s.ti++
 			return false
 		}
@@ -122,6 +129,7 @@ func (s *scanState) step(t *sched.Thread) bool {
 		if s.sp > sched.StackWords {
 			s.sp = sched.StackWords
 		}
+		s.mask, s.fbase = s.st.victimMask(act, s.sp)
 		s.pos = 0
 		s.hit = false
 		s.st.c.scanTargets.Inc(t.ID)
@@ -133,8 +141,14 @@ func (s *scanState) step(t *sched.Thread) bool {
 		if end > s.sp {
 			end = s.sp
 		}
+		loaded := 0
 		for ; s.pos < end; s.pos++ {
+			if s.mask != nil && !maskTracksStack(s.mask, s.fbase, s.pos) {
+				s.st.c.elidedWords.Inc(t.ID)
+				continue
+			}
 			w := t.LoadPlain(v.StackBase + word.Addr(s.pos))
+			loaded++
 			s.st.c.scannedWords.Inc(t.ID)
 			s.st.c.scannedDepth.Inc(t.ID)
 			if s.matches(w, ptr) {
@@ -142,7 +156,13 @@ func (s *scanState) step(t *sched.Thread) bool {
 				break
 			}
 		}
-		chargeWords(t, s.st.cfg.ScanChunkWords)
+		// Without a mask the seed behavior is preserved: a full chunk is
+		// charged even when clamped. With one, only inspected words cost.
+		if s.mask != nil {
+			chargeWords(t, loaded)
+		} else {
+			chargeWords(t, s.st.cfg.ScanChunkWords)
+		}
 		if s.hit {
 			s.markFound(t)
 			return false
@@ -153,15 +173,25 @@ func (s *scanState) step(t *sched.Thread) bool {
 
 	case phaseRegs:
 		v := s.victims[s.ti]
+		loaded := 0
 		for i := 0; i < sched.NumRegs; i++ {
+			if s.mask != nil && !maskTracksReg(s.mask, i) {
+				s.st.c.elidedWords.Inc(t.ID)
+				continue
+			}
 			w := t.LoadPlain(v.RegsBase + word.Addr(i))
+			loaded++
 			s.st.c.scannedWords.Inc(t.ID)
 			if s.matches(w, ptr) {
 				s.hit = true
 				break
 			}
 		}
-		chargeWords(t, sched.NumRegs)
+		if s.mask != nil {
+			chargeWords(t, loaded)
+		} else {
+			chargeWords(t, sched.NumRegs)
+		}
 		if s.hit {
 			s.markFound(t)
 			return false
@@ -214,6 +244,9 @@ func (s *scanState) step(t *sched.Thread) bool {
 			if s.sp > sched.StackWords {
 				s.sp = sched.StackWords
 			}
+			// Same operation invocation (operPre == operPost), but the
+			// frame geometry may have changed with sp.
+			s.mask, s.fbase = s.st.victimMask(t.LoadPlain(v.ActivityAddr()), s.sp)
 			s.pos = 0
 			s.hit = false
 			s.phase = phaseStack

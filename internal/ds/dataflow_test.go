@@ -1,0 +1,113 @@
+package ds_test
+
+import (
+	"strings"
+	"testing"
+
+	"stacktrack/internal/ds"
+	"stacktrack/internal/prog"
+	"stacktrack/internal/prog/dataflow"
+)
+
+// allOps builds every shipped operation, each structure on its own fixture
+// (static words must precede heap init).
+func allOps(t *testing.T) []*prog.Op {
+	t.Helper()
+	var ops []*prog.Op
+	l := ds.NewList(newFixture(t, 1).al)
+	ops = append(ops, l.OpContains, l.OpInsert, l.OpDelete)
+	s := ds.NewSkipList(newFixture(t, 1).al)
+	ops = append(ops, s.OpContains, s.OpInsert, s.OpDelete)
+	h := ds.NewHashTable(newFixture(t, 1).al, 32)
+	ops = append(ops, h.OpContains, h.OpInsert, h.OpDelete)
+	q := ds.NewQueue(newFixture(t, 1).al)
+	ops = append(ops, q.OpEnqueue, q.OpDequeue, q.OpPeek)
+	r := ds.NewRBTree(newFixture(t, 1).al)
+	ops = append(ops, r.OpSearch)
+	return ops
+}
+
+// TestAllOpsHaveDataflowFacts pins the static-analysis contract: every
+// shipped operation is fully effect-annotated, the dataflow pass produces
+// complete facts for it, and the facts are useful — no operation degrades
+// to tracking everything.
+func TestAllOpsHaveDataflowFacts(t *testing.T) {
+	for _, op := range allOps(t) {
+		if !op.EffectsAnnotated() {
+			t.Errorf("%s: missing effect annotations", op.Name)
+			continue
+		}
+		f := dataflow.Analyze(op)
+		if !f.Complete {
+			t.Errorf("%s: no facts: %s", op.Name, f.Reason)
+			continue
+		}
+		if f.TopEverywhere() {
+			t.Errorf("%s: facts are Top everywhere — annotations carry no information", op.Name)
+		}
+		total := op.FrameWords + 16
+		tracked := f.Mask.TrackedFrame() + f.Mask.TrackedRegs()
+		if tracked >= total {
+			t.Errorf("%s: mask tracks all %d words — elision wins nothing", op.Name, total)
+		}
+		t.Logf("%s", f.Summary())
+	}
+}
+
+// TestListMaskElidesScalars pins the concrete elision wins on the list ops:
+// the parity slot and the 12 never-written registers must be untracked,
+// while the node-pointer slots stay tracked.
+func TestListMaskElidesScalars(t *testing.T) {
+	l := ds.NewList(newFixture(t, 1).al)
+	for _, op := range []*prog.Op{l.OpContains, l.OpInsert, l.OpDelete} {
+		f := dataflow.Analyze(op)
+		if !f.Complete {
+			t.Fatalf("%s: no facts: %s", op.Name, f.Reason)
+		}
+		if f.Mask.Frame[3] { // lsParity: killed at entry, int everywhere
+			t.Errorf("%s: parity slot tracked", op.Name)
+		}
+		if !f.Mask.Frame[0] || !f.Mask.Frame[1] {
+			t.Errorf("%s: pointer slots prev/curr not tracked: %s", op.Name, f.Mask)
+		}
+		for r := 4; r < 16; r++ {
+			if f.Mask.Regs[r] {
+				t.Errorf("%s: scratch register R%d tracked", op.Name, r)
+			}
+		}
+	}
+}
+
+// TestSkiplistContainsElidesTowers pins the big skip-list win: Contains
+// records preds/succs while walking but never reads them after find
+// returns, so liveness kills the entire 40-word tower region at the mask
+// level... except inside find itself, where they are written. The overall
+// tracked count must come in far below the 66-word frame+regs total.
+func TestSkiplistContainsElidesTowers(t *testing.T) {
+	s := ds.NewSkipList(newFixture(t, 1).al)
+	f := dataflow.Analyze(s.OpContains)
+	if !f.Complete {
+		t.Fatalf("no facts: %s", f.Reason)
+	}
+	total := s.OpContains.FrameWords + 16
+	tracked := f.Mask.TrackedFrame() + f.Mask.TrackedRegs()
+	if tracked*2 > total {
+		t.Errorf("Contains tracks %d/%d words — expected well under half: %s",
+			tracked, total, f.Mask)
+	}
+}
+
+// TestFactsReportRenders smoke-tests the report formats used by the CLI
+// and the CI artifact.
+func TestFactsReportRenders(t *testing.T) {
+	q := ds.NewQueue(newFixture(t, 1).al)
+	f := dataflow.Analyze(q.OpDequeue)
+	sum := f.Summary()
+	if !strings.Contains(sum, "queue.Dequeue") || !strings.Contains(sum, "tracked=") {
+		t.Errorf("summary missing fields: %q", sum)
+	}
+	rep := f.Report()
+	if !strings.Contains(rep, "block 0:") || !strings.Contains(rep, "mask:") {
+		t.Errorf("report missing fields:\n%s", rep)
+	}
+}

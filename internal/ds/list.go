@@ -89,7 +89,14 @@ func emitListSearch(b *prog.Builder, headOf headOfFn, lbRetry, lbPos *int) {
 		f.Set(lsCurr, uint64(word.Ptr(w)))
 		f.Set(lsParity, 0)
 		return *lbLoop
-	}, prog.Goto(lbLoop))
+	}, prog.Goto(lbLoop),
+		// headOf may hash the key register (hash table); the head/bucket
+		// word itself is static, but lsPrev later holds heap link-word
+		// addresses, so the slot is declared pointer-bearing everywhere.
+		prog.Reads(prog.R(prog.RegArg1)),
+		prog.LoadsPtr(prog.F(lsPrev), prog.F(lsCurr)),
+		prog.Writes(prog.F(lsParity)),
+		prog.Kills(prog.F(lsPrev), prog.F(lsCurr), prog.F(lsParity)))
 
 	b.Bind(lbLoop)
 	b.Add(func(t *sched.Thread, f sched.Frame) int {
@@ -99,7 +106,9 @@ func emitListSearch(b *prog.Builder, headOf headOfFn, lbRetry, lbPos *int) {
 		}
 		f.Set(lsNext, t.Load(curr+listOffNext))
 		return *lbCheckMark
-	}, prog.Goto(lbPos, lbCheckMark))
+	}, prog.Goto(lbPos, lbCheckMark),
+		prog.Reads(prog.F(lsCurr)),
+		prog.LoadsPtr(prog.F(lsNext)))
 
 	b.Bind(lbCheckMark)
 	b.Add(func(t *sched.Thread, f sched.Frame) int {
@@ -128,7 +137,9 @@ func emitListSearch(b *prog.Builder, headOf headOfFn, lbRetry, lbPos *int) {
 			return *lbLoop
 		}
 		return *lbRetry
-	}, prog.Goto(lbKey, lbRetry, lbLoop))
+	}, prog.Goto(lbKey, lbRetry, lbLoop),
+		prog.Reads(prog.F(lsNext), prog.F(lsCurr), prog.F(lsPrev), prog.F(lsParity)),
+		prog.LoadsPtr(prog.F(lsCurr)))
 
 	b.Bind(lbKey)
 	b.Add(func(t *sched.Thread, f sched.Frame) int {
@@ -156,7 +167,10 @@ func emitListSearch(b *prog.Builder, headOf headOfFn, lbRetry, lbPos *int) {
 			return *lbLoop
 		}
 		return *lbPos
-	}, prog.Goto(lbLoop, lbCheckMark, lbPos))
+	}, prog.Goto(lbLoop, lbCheckMark, lbPos),
+		prog.Reads(prog.F(lsCurr), prog.R(prog.RegArg1), prog.F(lsParity)),
+		prog.LoadsPtr(prog.F(lsNext), prog.F(lsPrev), prog.F(lsCurr)),
+		prog.Writes(prog.F(lsParity)))
 }
 
 func buildListContains(id int, name string, headOf headOfFn) *prog.Op {
@@ -174,7 +188,10 @@ func buildListContains(id int, name string, headOf headOfFn) *prog.Op {
 		}
 		t.SetReg(prog.RegResult, boolWord(found))
 		return prog.Done
-	}, prog.SetsResult(), prog.Returns())
+	}, prog.SetsResult(), prog.Returns(),
+		prog.Reads(prog.F(lsCurr), prog.R(prog.RegArg1)),
+		prog.Writes(prog.R(prog.RegResult)),
+		prog.Kills(prog.R(prog.RegResult)))
 	return b.Build(id, name, listFrameWords)
 }
 
@@ -190,7 +207,9 @@ func buildListInsert(id int, name string, headOf headOfFn) *prog.Op {
 	b.Add(func(t *sched.Thread, f sched.Frame) int {
 		f.Set(lsNew, 0)
 		return *lbRetry
-	}, prog.Goto(lbRetry))
+	}, prog.Goto(lbRetry),
+		prog.Writes(prog.F(lsNew)),
+		prog.Kills(prog.F(lsNew)))
 	emitListSearch(b, headOf, lbRetry, lbPos)
 
 	b.Bind(lbPos)
@@ -206,7 +225,9 @@ func buildListInsert(id int, name string, headOf headOfFn) *prog.Op {
 			return prog.Done
 		}
 		return *lbMake
-	}, prog.Goto(lbMake), prog.SetsResult(), prog.Returns())
+	}, prog.Goto(lbMake), prog.SetsResult(), prog.Returns(),
+		prog.Reads(prog.F(lsCurr), prog.R(prog.RegArg1), prog.F(lsNew)),
+		prog.Writes(prog.R(prog.RegResult)))
 
 	b.Bind(lbMake)
 	b.Add(func(t *sched.Thread, f sched.Frame) int {
@@ -219,7 +240,9 @@ func buildListInsert(id int, name string, headOf headOfFn) *prog.Op {
 		}
 		t.Store(n+listOffNext, uint64(f.GetPtr(lsCurr)))
 		return *lbCAS
-	}, prog.Goto(lbCAS))
+	}, prog.Goto(lbCAS),
+		prog.Reads(prog.F(lsNew), prog.F(lsCurr), prog.R(prog.RegArg1), prog.R(prog.RegArg2)),
+		prog.LoadsPtr(prog.F(lsNew)))
 
 	b.Bind(lbCAS)
 	b.Add(func(t *sched.Thread, f sched.Frame) int {
@@ -231,7 +254,9 @@ func buildListInsert(id int, name string, headOf headOfFn) *prog.Op {
 			return prog.Done
 		}
 		return *lbRetry
-	}, prog.Goto(lbRetry), prog.SetsResult(), prog.Returns())
+	}, prog.Goto(lbRetry), prog.SetsResult(), prog.Returns(),
+		prog.Reads(prog.F(lsPrev), prog.F(lsCurr), prog.F(lsNew)),
+		prog.Writes(prog.R(prog.RegResult)))
 	return b.Build(id, name, listFrameWords)
 }
 
@@ -252,7 +277,9 @@ func buildListDelete(id int, name string, headOf headOfFn) *prog.Op {
 			return prog.Done
 		}
 		return *lbMark
-	}, prog.Goto(lbMark), prog.SetsResult(), prog.Returns())
+	}, prog.Goto(lbMark), prog.SetsResult(), prog.Returns(),
+		prog.Reads(prog.F(lsCurr), prog.R(prog.RegArg1)),
+		prog.Writes(prog.R(prog.RegResult)))
 
 	b.Bind(lbMark)
 	b.Add(func(t *sched.Thread, f sched.Frame) int {
@@ -267,7 +294,9 @@ func buildListDelete(id int, name string, headOf headOfFn) *prog.Op {
 			return *lbUnlink
 		}
 		return *lbMark
-	}, prog.Goto(lbRetry, lbUnlink, lbMark))
+	}, prog.Goto(lbRetry, lbUnlink, lbMark),
+		prog.Reads(prog.F(lsCurr)),
+		prog.LoadsPtr(prog.F(lsNext)))
 
 	b.Bind(lbUnlink)
 	b.Add(func(t *sched.Thread, f sched.Frame) int {
@@ -281,7 +310,10 @@ func buildListDelete(id int, name string, headOf headOfFn) *prog.Op {
 		// it will retire the node. The delete linearized at the mark.
 		t.SetReg(prog.RegResult, 1)
 		return prog.Done
-	}, prog.SetsResult(), prog.Returns())
+	}, prog.SetsResult(), prog.Returns(),
+		prog.Reads(prog.F(lsPrev), prog.F(lsCurr), prog.F(lsNext)),
+		prog.Writes(prog.R(prog.RegResult)),
+		prog.Kills(prog.R(prog.RegResult)))
 	return b.Build(id, name, listFrameWords)
 }
 

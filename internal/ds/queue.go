@@ -68,7 +68,10 @@ func (q *Queue) buildEnqueue() *prog.Op {
 		t.Store(n+qOffNext, 0)
 		f.Set(qsNode, uint64(n))
 		return *lbRetry
-	}, prog.Goto(lbRetry))
+	}, prog.Goto(lbRetry),
+		prog.Reads(prog.R(prog.RegArg1)),
+		prog.LoadsPtr(prog.F(qsNode)),
+		prog.Kills(prog.F(qsNode)))
 
 	b.Bind(lbRetry)
 	b.Add(func(t *sched.Thread, f sched.Frame) int {
@@ -76,7 +79,9 @@ func (q *Queue) buildEnqueue() *prog.Op {
 		f.Set(qsTail, uint64(tail))
 		f.Set(qsNext, t.Load(tail+qOffNext))
 		return *lbSwing
-	}, prog.Goto(lbSwing))
+	}, prog.Goto(lbSwing),
+		prog.LoadsPtr(prog.F(qsTail), prog.F(qsNext)),
+		prog.Kills(prog.F(qsTail), prog.F(qsNext)))
 
 	b.Bind(lbSwing)
 	b.Add(func(t *sched.Thread, f sched.Frame) int {
@@ -97,7 +102,9 @@ func (q *Queue) buildEnqueue() *prog.Op {
 			return prog.Done
 		}
 		return *lbRetry
-	}, prog.Goto(lbRetry), prog.SetsResult(), prog.Returns())
+	}, prog.Goto(lbRetry), prog.SetsResult(), prog.Returns(),
+		prog.Reads(prog.F(qsTail), prog.F(qsNext), prog.F(qsNode)),
+		prog.Writes(prog.R(prog.RegResult)))
 	return b.Build(OpEnqueue, "queue.Enqueue", qFrameWords)
 }
 
@@ -106,7 +113,8 @@ func (q *Queue) buildDequeue() *prog.Op {
 	lbRetry := b.Label()
 	lbDecide := b.Label()
 
-	b.Add(func(t *sched.Thread, f sched.Frame) int { return *lbRetry }, prog.Goto(lbRetry))
+	b.Add(func(t *sched.Thread, f sched.Frame) int { return *lbRetry },
+		prog.Goto(lbRetry), prog.NoEffects())
 
 	b.Bind(lbRetry)
 	b.Add(func(t *sched.Thread, f sched.Frame) int {
@@ -116,7 +124,9 @@ func (q *Queue) buildDequeue() *prog.Op {
 		w := t.ProtectLoad(1, head+qOffNext)
 		f.Set(qsNext, w)
 		return *lbDecide
-	}, prog.Goto(lbDecide))
+	}, prog.Goto(lbDecide),
+		prog.LoadsPtr(prog.F(qsHead), prog.F(qsTail), prog.F(qsNext)),
+		prog.Kills(prog.F(qsHead), prog.F(qsTail), prog.F(qsNext)))
 
 	b.Bind(lbDecide)
 	b.Add(func(t *sched.Thread, f sched.Frame) int {
@@ -141,7 +151,12 @@ func (q *Queue) buildDequeue() *prog.Op {
 			return prog.Done
 		}
 		return *lbRetry
-	}, prog.Goto(lbRetry), prog.SetsResult(), prog.Returns())
+	}, prog.Goto(lbRetry), prog.SetsResult(), prog.Returns(),
+		prog.Reads(prog.F(qsHead), prog.F(qsTail), prog.F(qsNext)),
+		// The dequeued value is an arbitrary workload word that can
+		// collide numerically with a heap address, so R0 is declared
+		// pointer-bearing rather than Writes.
+		prog.LoadsPtr(prog.R(prog.RegResult)))
 	return b.Build(OpDequeue, "queue.Dequeue", qFrameWords)
 }
 
@@ -149,7 +164,8 @@ func (q *Queue) buildPeek() *prog.Op {
 	b := prog.NewBuilder()
 	lbRetry := b.Label()
 
-	b.Add(func(t *sched.Thread, f sched.Frame) int { return *lbRetry }, prog.Goto(lbRetry))
+	b.Add(func(t *sched.Thread, f sched.Frame) int { return *lbRetry },
+		prog.Goto(lbRetry), prog.NoEffects())
 
 	b.Bind(lbRetry)
 	b.Add(func(t *sched.Thread, f sched.Frame) int {
@@ -165,7 +181,9 @@ func (q *Queue) buildPeek() *prog.Op {
 		}
 		t.SetReg(prog.RegResult, t.Load(next+qOffVal))
 		return prog.Done
-	}, prog.Goto(lbRetry), prog.SetsResult(), prog.Returns())
+	}, prog.Goto(lbRetry), prog.SetsResult(), prog.Returns(),
+		// Same as Dequeue: the peeked value may alias a heap address.
+		prog.LoadsPtr(prog.R(prog.RegResult)))
 	return b.Build(OpPeek, "queue.Peek", qFrameWords)
 }
 

@@ -60,7 +60,9 @@ func (r *RBTree) buildSearch() *prog.Op {
 	b.Add(func(t *sched.Thread, f sched.Frame) int {
 		f.Set(rbNode, t.Load(r.root))
 		return *lbLoop
-	}, prog.Goto(lbLoop))
+	}, prog.Goto(lbLoop),
+		prog.LoadsPtr(prog.F(rbNode)),
+		prog.Kills(prog.F(rbNode)))
 
 	b.Bind(lbLoop)
 	b.Add(func(t *sched.Thread, f sched.Frame) int {
@@ -69,7 +71,9 @@ func (r *RBTree) buildSearch() *prog.Op {
 			return prog.Done
 		}
 		return *lbCmp
-	}, prog.Goto(lbCmp), prog.SetsResult(), prog.Returns())
+	}, prog.Goto(lbCmp), prog.SetsResult(), prog.Returns(),
+		prog.Reads(prog.F(rbNode)),
+		prog.Writes(prog.R(prog.RegResult)))
 
 	b.Bind(lbCmp)
 	b.Add(func(t *sched.Thread, f sched.Frame) int {
@@ -86,7 +90,11 @@ func (r *RBTree) buildSearch() *prog.Op {
 			f.Set(rbNode, t.Load(node+rbOffRight))
 		}
 		return *lbLoop
-	}, prog.Goto(lbLoop), prog.SetsResult(), prog.Returns())
+	}, prog.Goto(lbLoop), prog.SetsResult(), prog.Returns(),
+		prog.Reads(prog.F(rbNode), prog.R(prog.RegArg1)),
+		// The hit path copies an arbitrary stored word into R0 and the
+		// miss path loads a child pointer into rbNode.
+		prog.LoadsPtr(prog.R(prog.RegResult), prog.F(rbNode)))
 	return b.Build(0, "rbtree.Search", rbFrameWords)
 }
 

@@ -76,6 +76,17 @@ const (
 	skFrameWords = skSuccs + MaxLevel
 )
 
+// skTower returns the Locs of all MaxLevel slots starting at base. The
+// level-indexed accesses in find and the linking loop are dynamic, so the
+// declared may-sets cover the whole array.
+func skTower(base int) []prog.Loc {
+	locs := make([]prog.Loc, MaxLevel)
+	for l := 0; l < MaxLevel; l++ {
+		locs[l] = prog.F(base + l)
+	}
+	return locs
+}
+
 // DebugCheckRetire, when set by a test, is invoked immediately before a
 // skip-list node is retired (dev aid for reachability auditing).
 var DebugCheckRetire func(t *sched.Thread, s *SkipList, node word.Addr)
@@ -141,7 +152,12 @@ func (s *SkipList) emitFind(b *prog.Builder, lbFind *int, rets ...*int) {
 		f.Set(skLevel, MaxLevel-1)
 		f.Set(skParity, 0)
 		return *lbLevel
-	}, prog.Goto(lbLevel))
+	}, prog.Goto(lbLevel),
+		// skPred is declared pointer-bearing everywhere: the head sentinel
+		// is static but the walk replaces it with heap nodes.
+		prog.LoadsPtr(prog.F(skPred)),
+		prog.Writes(prog.F(skLevel), prog.F(skParity)),
+		prog.Kills(prog.F(skPred), prog.F(skLevel), prog.F(skParity)))
 
 	// Begin a level: load pred.next[level] into curr's slot. A marked
 	// value means the predecessor was deleted under us; a reference taken
@@ -158,7 +174,9 @@ func (s *SkipList) emitFind(b *prog.Builder, lbFind *int, rets ...*int) {
 		}
 		f.Set(skCurr, uint64(word.Ptr(w)))
 		return *lbWalk
-	}, prog.Goto(lbFind, lbWalk))
+	}, prog.Goto(lbFind, lbWalk),
+		prog.Reads(prog.F(skPred), prog.F(skLevel), prog.F(skParity)),
+		prog.LoadsPtr(prog.F(skCurr)))
 
 	// Walk: read curr's successor plainly (curr is guarded).
 	b.Bind(lbWalk)
@@ -170,7 +188,10 @@ func (s *SkipList) emitFind(b *prog.Builder, lbFind *int, rets ...*int) {
 		}
 		f.Set(skSucc, t.Load(nextAddr(curr, int(f.Get(skLevel)))))
 		return *lbCheck
-	}, prog.Goto(lbDescend, lbCheck))
+	}, prog.Goto(lbDescend, lbCheck),
+		prog.Reads(prog.F(skCurr), prog.F(skLevel)),
+		prog.LoadsPtr(prog.F(skSucc)),
+		prog.Kills(prog.F(skSucc)))
 
 	// Check: snip a marked curr, advance past a small key, or descend.
 	b.Bind(lbCheck)
@@ -215,7 +236,11 @@ func (s *SkipList) emitFind(b *prog.Builder, lbFind *int, rets ...*int) {
 			return *lbWalk
 		}
 		return *lbDescend
-	}, prog.Goto(lbFind, lbWalk, lbCheck, lbDescend))
+	}, prog.Goto(lbFind, lbWalk, lbCheck, lbDescend),
+		prog.Reads(prog.F(skCurr), prog.F(skSucc), prog.F(skLevel),
+			prog.F(skPred), prog.F(skParity), prog.R(prog.RegArg1)),
+		prog.LoadsPtr(prog.F(skCurr), prog.F(skSucc), prog.F(skPred)),
+		prog.Writes(prog.F(skParity)))
 
 	// Descend: record pred/succ for this level with guard handoffs (both
 	// are currently guarded by the walk slots), then go down or finish.
@@ -233,7 +258,11 @@ func (s *SkipList) emitFind(b *prog.Builder, lbFind *int, rets ...*int) {
 			return *lbLevel
 		}
 		return *lbDone
-	}, prog.Goto(lbLevel, lbDone))
+	}, prog.Goto(lbLevel, lbDone),
+		prog.Reads(prog.F(skLevel), prog.F(skPred), prog.F(skCurr)),
+		prog.LoadsPtr(skTower(skPreds)...),
+		prog.LoadsPtr(skTower(skSuccs)...),
+		prog.Writes(prog.F(skLevel)))
 
 	b.Bind(lbDone)
 	b.Add(func(t *sched.Thread, f sched.Frame) int {
@@ -241,7 +270,10 @@ func (s *SkipList) emitFind(b *prog.Builder, lbFind *int, rets ...*int) {
 		found := curr != word.Null && t.Load(curr+skOffKey) == t.Reg(prog.RegArg1)
 		f.Set(skFound, boolWord(found))
 		return int(f.Get(skRet))
-	}, prog.Goto(rets...))
+	}, prog.Goto(rets...),
+		prog.Reads(prog.F(skCurr), prog.R(prog.RegArg1), prog.F(skRet)),
+		prog.Writes(prog.F(skFound)),
+		prog.Kills(prog.F(skFound)))
 }
 
 // buildContains runs the same helping find as the mutators and reports
@@ -258,14 +290,18 @@ func (s *SkipList) buildContains() *prog.Op {
 	b.Add(func(t *sched.Thread, f sched.Frame) int {
 		f.Set(skRet, uint64(*lbAfter))
 		return *lbFind
-	}, prog.Goto(lbFind))
+	}, prog.Goto(lbFind),
+		prog.Writes(prog.F(skRet)), prog.Kills(prog.F(skRet)))
 	s.emitFind(b, lbFind, lbAfter)
 
 	b.Bind(lbAfter)
 	b.Add(func(t *sched.Thread, f sched.Frame) int {
 		t.SetReg(prog.RegResult, f.Get(skFound))
 		return prog.Done
-	}, prog.SetsResult(), prog.Returns())
+	}, prog.SetsResult(), prog.Returns(),
+		prog.Reads(prog.F(skFound)),
+		prog.Writes(prog.R(prog.RegResult)),
+		prog.Kills(prog.R(prog.RegResult)))
 	return b.Build(OpContains, "skiplist.Contains", skFrameWords)
 }
 
@@ -289,7 +325,9 @@ func (s *SkipList) buildInsert() *prog.Op {
 		f.Set(skNode, 0)
 		f.Set(skRet, uint64(*lbAfterFind))
 		return *lbFind
-	}, prog.Goto(lbFind))
+	}, prog.Goto(lbFind),
+		prog.Writes(prog.F(skNode), prog.F(skRet)),
+		prog.Kills(prog.F(skNode), prog.F(skRet)))
 	s.emitFind(b, lbFind, lbAfterFind, lbAfterRefind)
 
 	b.Bind(lbAfterFind)
@@ -302,7 +340,9 @@ func (s *SkipList) buildInsert() *prog.Op {
 			return prog.Done
 		}
 		return *lbPrepare
-	}, prog.Goto(lbPrepare), prog.SetsResult(), prog.Returns())
+	}, prog.Goto(lbPrepare), prog.SetsResult(), prog.Returns(),
+		prog.Reads(prog.F(skFound), prog.F(skNode)),
+		prog.Writes(prog.R(prog.RegResult)))
 
 	// Allocate the node (once) and point its tower at the successors.
 	b.Bind(lbPrepare)
@@ -325,7 +365,12 @@ func (s *SkipList) buildInsert() *prog.Op {
 			t.Store(nextAddr(n, l), f.Get(skSuccs+l))
 		}
 		return *lbBottom
-	}, prog.Goto(lbBottom))
+	}, prog.Goto(lbBottom),
+		prog.Reads(append(skTower(skSuccs),
+			prog.F(skNode), prog.F(skTop),
+			prog.R(prog.RegArg1), prog.R(prog.RegArg2))...),
+		prog.LoadsPtr(prog.F(skNode)),
+		prog.Writes(prog.F(skTop)))
 
 	// Linearization point: link level 0. The successor must be verifiably
 	// unmarked in the same block as the CAS: linking in front of a marked
@@ -350,7 +395,9 @@ func (s *SkipList) buildInsert() *prog.Op {
 		}
 		f.Set(skRet, uint64(*lbAfterFind))
 		return *lbFind
-	}, prog.Goto(lbFind, lbLink))
+	}, prog.Goto(lbFind, lbLink),
+		prog.Reads(prog.F(skPreds+0), prog.F(skSuccs+0), prog.F(skNode)),
+		prog.Writes(prog.F(skRet), prog.F(skTmp)))
 
 	// Link the higher levels, re-finding on contention. The linking level
 	// lives in its own slot (skTmp): the find subroutine clobbers skLevel.
@@ -360,7 +407,8 @@ func (s *SkipList) buildInsert() *prog.Op {
 			return *lbOK
 		}
 		return *lbLinkTry
-	}, prog.Goto(lbOK, lbLinkTry))
+	}, prog.Goto(lbOK, lbLinkTry),
+		prog.Reads(prog.F(skTmp), prog.F(skTop)))
 
 	b.Bind(lbLinkTry)
 	b.Add(func(t *sched.Thread, f sched.Frame) int {
@@ -387,13 +435,17 @@ func (s *SkipList) buildInsert() *prog.Op {
 			return *lbLink
 		}
 		return *lbRefind
-	}, prog.Goto(lbOK, lbRefind, lbLinkTry, lbLink))
+	}, prog.Goto(lbOK, lbRefind, lbLinkTry, lbLink),
+		prog.Reads(append(append(skTower(skSuccs), skTower(skPreds)...),
+			prog.F(skTmp), prog.F(skNode))...),
+		prog.Writes(prog.F(skTmp)))
 
 	b.Bind(lbRefind)
 	b.Add(func(t *sched.Thread, f sched.Frame) int {
 		f.Set(skRet, uint64(*lbAfterRefind))
 		return *lbFind
-	}, prog.Goto(lbFind))
+	}, prog.Goto(lbFind),
+		prog.Writes(prog.F(skRet)), prog.Kills(prog.F(skRet)))
 
 	b.Bind(lbAfterRefind)
 	b.Add(func(t *sched.Thread, f sched.Frame) int {
@@ -403,13 +455,16 @@ func (s *SkipList) buildInsert() *prog.Op {
 			return *lbOK
 		}
 		return *lbLinkTry
-	}, prog.Goto(lbOK, lbLinkTry))
+	}, prog.Goto(lbOK, lbLinkTry),
+		prog.Reads(prog.F(skFound), prog.F(skSuccs+0), prog.F(skNode)))
 
 	b.Bind(lbOK)
 	b.Add(func(t *sched.Thread, f sched.Frame) int {
 		t.SetReg(prog.RegResult, 1)
 		return prog.Done
-	}, prog.SetsResult(), prog.Returns())
+	}, prog.SetsResult(), prog.Returns(),
+		prog.Writes(prog.R(prog.RegResult)),
+		prog.Kills(prog.R(prog.RegResult)))
 	return b.Build(OpInsert, "skiplist.Insert", skFrameWords)
 }
 
@@ -426,7 +481,8 @@ func (s *SkipList) buildDelete() *prog.Op {
 	b.Add(func(t *sched.Thread, f sched.Frame) int {
 		f.Set(skRet, uint64(*lbAfterFind))
 		return *lbFind
-	}, prog.Goto(lbFind))
+	}, prog.Goto(lbFind),
+		prog.Writes(prog.F(skRet)), prog.Kills(prog.F(skRet)))
 	s.emitFind(b, lbFind, lbAfterFind, lbAfterUnlink)
 
 	b.Bind(lbAfterFind)
@@ -443,7 +499,12 @@ func (s *SkipList) buildDelete() *prog.Op {
 		f.Set(skTop, t.Load(n+skOffTop))
 		f.Set(skLevel, f.Get(skTop))
 		return *lbMarkTop
-	}, prog.Goto(lbMarkTop), prog.SetsResult(), prog.Returns())
+	}, prog.Goto(lbMarkTop), prog.SetsResult(), prog.Returns(),
+		prog.Reads(prog.F(skFound), prog.F(skSuccs+0), prog.F(skTop)),
+		prog.LoadsPtr(prog.F(skNode)),
+		// skTop receives the victim's stored top level (a small int) and
+		// skLevel a copy of it.
+		prog.Writes(prog.R(prog.RegResult), prog.F(skTop), prog.F(skLevel)))
 
 	// Mark levels top..1.
 	b.Bind(lbMarkTop)
@@ -462,7 +523,9 @@ func (s *SkipList) buildDelete() *prog.Op {
 			DebugEvent(t, "mark", n, level, w, 0)
 		}
 		return *lbMarkTop // re-check (either we marked it or retry)
-	}, prog.Goto(lbMarkBottom, lbMarkTop))
+	}, prog.Goto(lbMarkBottom, lbMarkTop),
+		prog.Reads(prog.F(skLevel), prog.F(skNode)),
+		prog.Writes(prog.F(skLevel)))
 
 	// Bottom-level mark: the linearization point.
 	b.Bind(lbMarkBottom)
@@ -483,7 +546,9 @@ func (s *SkipList) buildDelete() *prog.Op {
 			return *lbFind
 		}
 		return *lbMarkBottom
-	}, prog.Goto(lbFind, lbMarkBottom), prog.SetsResult(), prog.Returns())
+	}, prog.Goto(lbFind, lbMarkBottom), prog.SetsResult(), prog.Returns(),
+		prog.Reads(prog.F(skNode)),
+		prog.Writes(prog.R(prog.RegResult), prog.F(skRet)))
 
 	b.Bind(lbAfterUnlink)
 	b.Add(func(t *sched.Thread, f sched.Frame) int {
@@ -496,7 +561,10 @@ func (s *SkipList) buildDelete() *prog.Op {
 		retireNode(t, node)
 		t.SetReg(prog.RegResult, 1)
 		return prog.Done
-	}, prog.SetsResult(), prog.Returns())
+	}, prog.SetsResult(), prog.Returns(),
+		prog.Reads(prog.F(skNode)),
+		prog.Writes(prog.R(prog.RegResult)),
+		prog.Kills(prog.R(prog.RegResult)))
 	return b.Build(OpDelete, "skiplist.Delete", skFrameWords)
 }
 

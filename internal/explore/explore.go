@@ -94,6 +94,14 @@ type RunConfig struct {
 	// schedule artifact, so it is part of RunConfig rather than a
 	// side-channel flag.
 	CheckRaces bool `json:"check_races,omitempty"`
+
+	// CheckEffects enables the dynamic effect-soundness oracle: every
+	// executed block's register and frame accesses are checked against the
+	// operation's declared Reads/Writes/LoadsPtr/Kills sets — the
+	// annotations the static dataflow pass (and through it the scanner's
+	// elision masks) trusts. Any violation fails the schedule. Recorded in
+	// the artifact for the same replay-stability reason as CheckRaces.
+	CheckEffects bool `json:"check_effects,omitempty"`
 }
 
 // WithDefaults fills unset fields with small fuzzing-friendly parameters:
@@ -178,6 +186,7 @@ func (c RunConfig) benchConfig() bench.Config {
 		Validate:      true,
 		History:       c.CheckLin && c.CrashThreads == 0,
 		Sanitize:      c.CheckRaces,
+		CheckEffects:  c.CheckEffects,
 	}
 }
 

@@ -61,9 +61,11 @@ func Minimize(log *Log, opts MinimizeOptions) (*MinimizeResult, error) {
 	// analysis-only and deliberately not snapshotted (the shadow heap is
 	// rebuilt from the allocator on restore, but the race detector's
 	// vector-clock history cannot be), so a forked replay misses any race
-	// whose first access predates the snapshot.
+	// whose first access predates the snapshot. The effect checker's
+	// findings are analysis-only in the same way, so effect-oracle runs
+	// replay from scratch too.
 	var cache []snapEntry
-	if !opts.NoFork && !log.Config.CheckRaces {
+	if !opts.NoFork && !log.Config.CheckRaces && !log.Config.CheckEffects {
 		cache = capturePrefixSnapshots(log.Config, log.Decisions, snapCachePoints)
 	}
 	test := func(ds []Decision) (Verdict, bool) {
@@ -128,7 +130,7 @@ func Minimize(log *Log, opts MinimizeOptions) (*MinimizeResult, error) {
 				// deviations, the surviving prefix pushes deeper into the
 				// run and forked candidates skip correspondingly more.
 				// Same race-oracle gate as the initial capture above.
-				if !opts.NoFork && !log.Config.CheckRaces {
+				if !opts.NoFork && !log.Config.CheckRaces && !log.Config.CheckEffects {
 					cache = capturePrefixSnapshots(log.Config, cur, snapCachePoints)
 				}
 				break

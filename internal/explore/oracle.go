@@ -18,6 +18,7 @@ const (
 	OracleCrash        = "crash"           // simulated segfault: double free, wild pointer
 	OracleLinearizable = "linearizability" // a key's completed ops admit no legal order
 	OracleRace         = "race"            // the sanitizer reported a data race or bad access
+	OracleEffects      = "effects"         // an executed block violated its declared effect sets
 	OracleLeak         = "leak"            // reserved; not judged by default
 )
 
@@ -48,6 +49,9 @@ func judge(cfg RunConfig, res *bench.Result, crash any) Verdict {
 		// value the access eventually returned.
 		return v
 	}
+	if v := judgeEffects(res); v.Failed {
+		return v
+	}
 	if res.UAFReads > 0 {
 		return Verdict{
 			Failed: true, Oracle: OraclePoison,
@@ -71,7 +75,7 @@ func judge(cfg RunConfig, res *bench.Result, crash any) Verdict {
 // artifact exists to reproduce.
 func judgeRaces(res *bench.Result) Verdict {
 	san := res.San
-	if san == nil || san.Clean() {
+	if san == nil || san.DataRaces+san.UAFAccesses+san.Redzone+san.Wild == 0 {
 		return Verdict{}
 	}
 	detail := fmt.Sprintf("%d data race(s), %d use-after-free, %d redzone, %d wild",
@@ -82,6 +86,22 @@ func judgeRaces(res *bench.Result) Verdict {
 		detail += "; first: " + san.Accesses[0].String()
 	}
 	return Verdict{Failed: true, Oracle: OracleRace, Detail: detail}
+}
+
+// judgeEffects fails the run when the dynamic effect oracle (enabled by
+// RunConfig.CheckEffects) observed any access outside a block's declared
+// effect sets. A single finding here means the static dataflow facts — and
+// any scan elision derived from them — were computed from a lie.
+func judgeEffects(res *bench.Result) Verdict {
+	san := res.San
+	if san == nil || san.EffectViolations == 0 {
+		return Verdict{}
+	}
+	detail := fmt.Sprintf("%d effect violation(s)", san.EffectViolations)
+	if len(san.Effects) > 0 {
+		detail += "; first: " + san.Effects[0].String()
+	}
+	return Verdict{Failed: true, Oracle: OracleEffects, Detail: detail}
 }
 
 // judgeConservation checks the structure's element count against the exact

@@ -30,14 +30,27 @@ type blockNotes struct {
 	returns   bool
 	setsR0    bool
 	annotated bool
+
+	effects  bool
+	reads    []Loc
+	writes   []Loc
+	loadsPtr []Loc
+	kills    []Loc
 }
 
 // Note annotates a block added with Add/AddUnsupported. Construct Notes
-// with Goto, Returns, and SetsResult.
+// with Goto, Returns, and SetsResult (control flow) and Reads, Writes,
+// LoadsPtr, Kills, and NoEffects (data effects for the dataflow pass).
 type Note struct {
 	gotos   []*int
 	returns bool
 	setsR0  bool
+
+	effects  bool
+	reads    []Loc
+	writes   []Loc
+	loadsPtr []Loc
+	kills    []Loc
 }
 
 // Goto declares that the block may branch to any of the given labels.
@@ -52,6 +65,37 @@ func Returns() Note { return Note{returns: true} }
 // the block that matters for the result convention (in particular before
 // any Done it returns).
 func SetsResult() Note { return Note{setsR0: true} }
+
+// Reads declares the registers and frame slots the block may read (its
+// may-read set). Every location the block can possibly load must be
+// listed; the dynamic effect oracle treats an unlisted read as a finding.
+func Reads(locs ...Loc) Note { return Note{effects: true, reads: locs} }
+
+// Writes declares locations the block may overwrite with values that are
+// never heap pointers (counters, keys, block indices, booleans). The
+// dataflow pass taints them NotPtr, which is what lets the scanner elide
+// them.
+func Writes(locs ...Loc) Note { return Note{effects: true, writes: locs} }
+
+// LoadsPtr declares locations the block may overwrite with values that
+// can be heap pointers (node addresses, link-word addresses, raw next
+// words). The dataflow pass taints them MaybeHeapPtr, so the scanner
+// keeps tracking them while they are live.
+func LoadsPtr(locs ...Loc) Note { return Note{effects: true, loadsPtr: locs} }
+
+// Kills declares the must-write set: locations the block definitely
+// overwrites on every path through it, before any read of their incoming
+// value could escape the block. A killed location's incoming taint is
+// discarded (the written taint comes from its Writes/LoadsPtr membership,
+// which the verifier requires). The effect oracle checks each completed
+// execution actually wrote every killed location.
+func Kills(locs ...Loc) Note { return Note{effects: true, kills: locs} }
+
+// NoEffects declares that the block touches no registers and no frame
+// slots at all (an unconditional jump, a pure delay). It exists so an
+// operation can be *totally* effect-annotated — the dataflow pass only
+// trusts operations where every block declared its effects.
+func NoEffects() Note { return Note{effects: true} }
 
 // NewBuilder returns an empty operation builder.
 func NewBuilder() *Builder { return &Builder{} }
@@ -80,6 +124,11 @@ func (b *Builder) Add(blk Block, notes ...Note) int {
 		m.gotos = append(m.gotos, n.gotos...)
 		m.returns = m.returns || n.returns
 		m.setsR0 = m.setsR0 || n.setsR0
+		m.effects = m.effects || n.effects
+		m.reads = append(m.reads, n.reads...)
+		m.writes = append(m.writes, n.writes...)
+		m.loadsPtr = append(m.loadsPtr, n.loadsPtr...)
+		m.kills = append(m.kills, n.kills...)
 	}
 	b.blocks = append(b.blocks, blk)
 	b.attrs = append(b.attrs, attr)
@@ -124,7 +173,7 @@ func (b *Builder) AddUnsupported(blk Block, notes ...Note) int {
 // otherwise surface as a bizarre runtime jump deep inside a simulation.
 // Use Verify for the non-panicking report.
 func (b *Builder) Build(id int, name string, frameWords int) *Op {
-	if ds := b.Verify(name); len(ds) > 0 {
+	if ds := b.verifyAll(name, frameWords); len(ds) > 0 {
 		msgs := make([]string, len(ds))
 		for i, d := range ds {
 			msgs[i] = d.String()

@@ -1,0 +1,420 @@
+// Package dataflow computes pointer-taint and liveness facts over the
+// operation IR's declared control-flow graph — the static half of the
+// paper's "automated" claim (§5.5): deciding which stack slots and
+// registers can hold heap pointers, so the scanner tracks only those.
+//
+// The engine is a classic worklist solver over two analyses:
+//
+//   - Forward pointer taint. Each location (register or frame slot)
+//     carries a value from the lattice NotPtr < MaybeHeapPtr < Top
+//     (join = max). Block transfer functions come from the declared
+//     effect notes: LoadsPtr taints a location MaybeHeapPtr, Writes
+//     taints it NotPtr, and Kills discards the incoming taint (the
+//     location is definitely overwritten, so only the declared written
+//     value survives). Locations not written keep their incoming taint,
+//     joined across predecessors.
+//
+//   - Backward liveness at split-checkpoint boundaries. live-in(b) =
+//     Reads(b) ∪ (live-out(b) \ Kills(b)); live-out(b) joins the live-in
+//     of every declared successor, plus R0 at returning blocks (the
+//     calling convention says the driver reads the result there).
+//
+// Entry seeding encodes the driver calling convention: R0–R3 arrive
+// holding scalar keys/values (NotPtr — the workload never passes heap
+// pointers as arguments, and the dynamic effect oracle would flag an
+// operation whose annotations contradict its behavior). Every other
+// register and every frame slot starts Top: they hold whatever garbage
+// the previous operation left behind.
+//
+// The consumable product is the per-operation TrackMask: a location is
+// tracked iff some block can expose it holding a possibly-heap-pointer
+// value while it is live. The union runs over every block — not just
+// commit points — because the slow path's frame writes are plainly
+// visible mid-block, so any block's intermediate state can be what a
+// concurrent scanner observes. A location outside the mask is provably
+// either never a pointer or dead at every possible observation point,
+// which is exactly the license the scanner needs to elide it.
+package dataflow
+
+import (
+	"fmt"
+	"strings"
+
+	"stacktrack/internal/prog"
+	"stacktrack/internal/sched"
+)
+
+// Taint is the pointer-taint lattice value of one location.
+type Taint uint8
+
+const (
+	// NotPtr: the location provably never holds a heap pointer here.
+	NotPtr Taint = iota
+	// MaybeHeapPtr: the location may hold a heap pointer (tracked).
+	MaybeHeapPtr
+	// Top: nothing is known (entry garbage); treated as pointer-bearing.
+	Top
+)
+
+// String renders the taint for fact tables.
+func (t Taint) String() string {
+	switch t {
+	case NotPtr:
+		return "not-ptr"
+	case MaybeHeapPtr:
+		return "maybe-ptr"
+	default:
+		return "top"
+	}
+}
+
+func join(a, b Taint) Taint {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TrackMask is the scanner-facing product: which locations of an
+// operation's exposed state can hold a live heap pointer. The zero value
+// (Full=true implied by Frame==nil) means "no facts — scan everything".
+type TrackMask struct {
+	// FrameWords is the operation's frame size; the scanner uses it to
+	// find the frame base below the exposed stack pointer. Stack words
+	// below the current frame belong to popped frames and are never
+	// scanned when facts are available.
+	FrameWords int
+	// Frame[i] reports whether frame slot i must be scanned.
+	Frame []bool
+	// Regs[i] reports whether register i must be scanned.
+	Regs [sched.NumRegs]bool
+}
+
+// TrackedFrame counts the tracked frame slots.
+func (m TrackMask) TrackedFrame() int {
+	n := 0
+	for _, b := range m.Frame {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// TrackedRegs counts the tracked registers.
+func (m TrackMask) TrackedRegs() int {
+	n := 0
+	for _, b := range m.Regs {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the mask compactly: frame{1,2,4}/5 regs{} .
+func (m TrackMask) String() string {
+	var sb strings.Builder
+	sb.WriteString("frame{")
+	first := true
+	for i, b := range m.Frame {
+		if !b {
+			continue
+		}
+		if !first {
+			sb.WriteString(",")
+		}
+		first = false
+		fmt.Fprintf(&sb, "%d", i)
+	}
+	fmt.Fprintf(&sb, "}/%d regs{", m.FrameWords)
+	first = true
+	for i, b := range m.Regs {
+		if !b {
+			continue
+		}
+		if !first {
+			sb.WriteString(",")
+		}
+		first = false
+		fmt.Fprintf(&sb, "%d", i)
+	}
+	sb.WriteString("}")
+	return sb.String()
+}
+
+// Facts bundles one operation's analysis results. Locations are indexed
+// 0..NumRegs-1 for registers and NumRegs+i for frame slot i.
+type Facts struct {
+	Op *prog.Op
+
+	// Complete reports whether the analysis ran: every block carried both
+	// control-flow and effect annotations. When false, Reason says why and
+	// only Op/Reason are meaningful — consumers must fall back to full
+	// scanning.
+	Complete bool
+	Reason   string
+
+	TaintIn  [][]Taint
+	TaintOut [][]Taint
+	LiveIn   [][]bool
+	LiveOut  [][]bool
+
+	Mask TrackMask
+}
+
+// nLocs returns the location-vector width for op.
+func nLocs(op *prog.Op) int { return sched.NumRegs + op.FrameWords }
+
+// locIndex maps a Loc to its vector index.
+func locIndex(l prog.Loc) int {
+	if l.IsFrame {
+		return sched.NumRegs + l.Index
+	}
+	return l.Index
+}
+
+// locName renders a vector index back to R?/F? form.
+func locName(i int) string {
+	if i < sched.NumRegs {
+		return fmt.Sprintf("R%d", i)
+	}
+	return fmt.Sprintf("F%d", i-sched.NumRegs)
+}
+
+// Analyze computes taint, liveness, and the track mask for one built
+// operation. It never fails hard: an operation without total annotations
+// yields Facts{Complete: false}, which consumers treat as "track
+// everything".
+func Analyze(op *prog.Op) *Facts {
+	f := &Facts{Op: op}
+	cfg := op.CFG()
+	if len(cfg) == 0 || len(cfg) != len(op.Blocks) {
+		f.Reason = "no declared CFG"
+		return f
+	}
+	if !op.Annotated() {
+		f.Reason = "control-flow annotations incomplete"
+		return f
+	}
+	if !op.EffectsAnnotated() {
+		f.Reason = "effect annotations incomplete"
+		return f
+	}
+	if ds := prog.VerifyOp(op); len(ds) > 0 {
+		f.Reason = fmt.Sprintf("verifier diagnostics: %v", ds)
+		return f
+	}
+	f.Complete = true
+
+	n := len(cfg)
+	w := nLocs(op)
+	preds := make([][]int, n)
+	for i, bi := range cfg {
+		for _, s := range bi.Succs {
+			preds[s] = append(preds[s], i)
+		}
+	}
+
+	// writtenTaint[b][loc]: the taint of the value block b may write to
+	// loc, or 0xff when b never writes loc.
+	const noWrite = Taint(0xff)
+	written := make([][]Taint, n)
+	kills := make([][]bool, n)
+	reads := make([][]bool, n)
+	for b, bi := range cfg {
+		written[b] = make([]Taint, w)
+		for i := range written[b] {
+			written[b][i] = noWrite
+		}
+		kills[b] = make([]bool, w)
+		reads[b] = make([]bool, w)
+		for _, l := range bi.Writes {
+			i := locIndex(l)
+			if written[b][i] == noWrite || written[b][i] < NotPtr {
+				written[b][i] = NotPtr
+			}
+		}
+		for _, l := range bi.LoadsPtr {
+			i := locIndex(l)
+			if written[b][i] == noWrite {
+				written[b][i] = MaybeHeapPtr
+			} else {
+				written[b][i] = join(written[b][i], MaybeHeapPtr)
+			}
+		}
+		for _, l := range bi.Kills {
+			kills[b][locIndex(l)] = true
+		}
+		for _, l := range bi.Reads {
+			reads[b][locIndex(l)] = true
+		}
+	}
+
+	// --- Forward taint -------------------------------------------------
+	f.TaintIn = makeTaint(n, w)
+	f.TaintOut = makeTaint(n, w)
+	// Entry: argument/result registers carry scalars by convention;
+	// everything else is garbage from the previous operation.
+	entry := make([]Taint, w)
+	for i := range entry {
+		entry[i] = Top
+	}
+	for r := prog.RegResult; r <= prog.RegArg3; r++ {
+		entry[r] = NotPtr
+	}
+	copy(f.TaintIn[0], entry)
+
+	transfer := func(b int, in []Taint, out []Taint) {
+		for i := 0; i < w; i++ {
+			switch {
+			case kills[b][i]:
+				// Definitely overwritten: only the written taint survives.
+				out[i] = written[b][i]
+			case written[b][i] != noWrite:
+				// May be overwritten: join the possibilities.
+				out[i] = join(in[i], written[b][i])
+			default:
+				out[i] = in[i]
+			}
+		}
+	}
+
+	// Worklist (forward): seed with the entry, propagate joins to
+	// successors until the fixpoint.
+	inQueue := make([]bool, n)
+	queue := []int{0}
+	inQueue[0] = true
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		inQueue[b] = false
+		transfer(b, f.TaintIn[b], f.TaintOut[b])
+		for _, s := range cfg[b].Succs {
+			changed := false
+			for i := 0; i < w; i++ {
+				if j := join(f.TaintIn[s][i], f.TaintOut[b][i]); j != f.TaintIn[s][i] {
+					f.TaintIn[s][i] = j
+					changed = true
+				}
+			}
+			if changed && !inQueue[s] {
+				inQueue[s] = true
+				queue = append(queue, s)
+			}
+		}
+	}
+
+	// --- Backward liveness --------------------------------------------
+	f.LiveIn = makeBool(n, w)
+	f.LiveOut = makeBool(n, w)
+	liveTransfer := func(b int) bool {
+		changed := false
+		for i := 0; i < w; i++ {
+			li := reads[b][i] || (f.LiveOut[b][i] && !kills[b][i])
+			if li != f.LiveIn[b][i] {
+				f.LiveIn[b][i] = li
+				changed = true
+			}
+		}
+		return changed
+	}
+	// Seed: returning blocks leave R0 observable by the driver.
+	for b, bi := range cfg {
+		if bi.Returns {
+			f.LiveOut[b][prog.RegResult] = true
+		}
+		queue = append(queue, b)
+		inQueue[b] = true
+	}
+	for len(queue) > 0 {
+		b := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		inQueue[b] = false
+		if !liveTransfer(b) {
+			continue
+		}
+		for _, p := range preds[b] {
+			changed := false
+			for i := 0; i < w; i++ {
+				if f.LiveIn[b][i] && !f.LiveOut[p][i] {
+					f.LiveOut[p][i] = true
+					changed = true
+				}
+			}
+			if changed && !inQueue[p] {
+				inQueue[p] = true
+				queue = append(queue, p)
+			}
+		}
+	}
+
+	// --- Track mask ----------------------------------------------------
+	// A location must be tracked if any block can expose it holding a
+	// live, possibly-pointer value. Two values can be exposed per block —
+	// mid-block exposure matters because the slow path's frame writes are
+	// plainly visible between block boundaries:
+	//
+	//   - the incoming value, needed while live-in holds (a killed
+	//     location's entry garbage is dead even when the slot is live-out:
+	//     the overwrite is guaranteed before any read could see it);
+	//   - the block's own written value, needed when it survives the block
+	//     (live-out) or may be re-read within it (Reads includes
+	//     read-after-write).
+	f.Mask = TrackMask{FrameWords: op.FrameWords, Frame: make([]bool, op.FrameWords)}
+	track := func(i int) {
+		if i < sched.NumRegs {
+			f.Mask.Regs[i] = true
+		} else {
+			f.Mask.Frame[i-sched.NumRegs] = true
+		}
+	}
+	for b := 0; b < n; b++ {
+		for i := 0; i < w; i++ {
+			if f.TaintIn[b][i] >= MaybeHeapPtr && f.LiveIn[b][i] {
+				track(i)
+				continue
+			}
+			if written[b][i] != noWrite && written[b][i] >= MaybeHeapPtr &&
+				(f.LiveOut[b][i] || reads[b][i]) {
+				track(i)
+			}
+		}
+	}
+	return f
+}
+
+// TopEverywhere reports whether the facts have degenerated to "every
+// location is Top at every block" — the signature of annotation rot (for
+// example, every block declaring empty effect sets would make every
+// entry-garbage location look live and unknown). CI fails the lint run
+// when a data-structure op reports this.
+func (f *Facts) TopEverywhere() bool {
+	if !f.Complete {
+		return true
+	}
+	for b := range f.TaintIn {
+		for i := range f.TaintIn[b] {
+			if f.TaintIn[b][i] != Top {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func makeTaint(n, w int) [][]Taint {
+	out := make([][]Taint, n)
+	for i := range out {
+		out[i] = make([]Taint, w)
+	}
+	return out
+}
+
+func makeBool(n, w int) [][]bool {
+	out := make([][]bool, n)
+	for i := range out {
+		out[i] = make([]bool, w)
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+package dataflow
+
+import (
+	"strings"
+	"testing"
+
+	"stacktrack/internal/prog"
+	"stacktrack/internal/sched"
+)
+
+func nop(t *sched.Thread, f sched.Frame) int { return prog.Done }
+
+// retNote is the standard returning-block annotation: R0 is killed with
+// a scalar result, satisfying both the r0-unwritten check and the
+// effect/SetsResult consistency check.
+func retNote() []prog.Note {
+	return []prog.Note{
+		prog.Returns(), prog.SetsResult(),
+		prog.Writes(prog.R(0)), prog.Kills(prog.R(0)),
+	}
+}
+
+func TestAnalyzeIncompleteWithoutEffects(t *testing.T) {
+	b := prog.NewBuilder()
+	b.Add(nop, prog.Returns(), prog.SetsResult())
+	op := b.Build(0, "noeff", 0)
+	f := Analyze(op)
+	if f.Complete {
+		t.Fatal("CFG-only annotations must not produce facts")
+	}
+	if !strings.Contains(f.Reason, "effect") {
+		t.Fatalf("Reason should name the missing effect layer: %q", f.Reason)
+	}
+	if !f.TopEverywhere() {
+		t.Fatal("incomplete facts must count as Top everywhere (lint gate)")
+	}
+}
+
+func TestAnalyzeSingleBlockMask(t *testing.T) {
+	// One block: reads key in R1, stores a traversal pointer to F0,
+	// scratches a scalar into F1, returns a scalar in R0.
+	b := prog.NewBuilder()
+	b.Add(nop, append(retNote(),
+		prog.Reads(prog.R(1), prog.F(0)),
+		prog.LoadsPtr(prog.F(0)),
+		prog.Writes(prog.F(1)),
+		prog.Kills(prog.F(1)),
+	)...)
+	op := b.Build(0, "single", 2)
+	f := Analyze(op)
+	if !f.Complete {
+		t.Fatalf("not complete: %s", f.Reason)
+	}
+	if f.TopEverywhere() {
+		t.Fatal("facts should not be Top everywhere")
+	}
+	if !f.Mask.Frame[0] {
+		t.Error("F0 holds a live pointer (LoadsPtr + read in the same block); must be tracked")
+	}
+	if f.Mask.Frame[1] {
+		t.Error("F1 is a dead scalar (Writes+Kills, never read, not live-out); must be elided")
+	}
+	if f.Mask.Regs[0] {
+		t.Error("R0 is a killed scalar result; must be elided")
+	}
+}
+
+func TestAnalyzeKillDiscardsEntryGarbage(t *testing.T) {
+	// Block 0 kills F0 with a scalar before block 1 reads it: the entry
+	// garbage (Top) never reaches a read, so F0 must not be tracked.
+	b := prog.NewBuilder()
+	next := b.Label()
+	b.Add(nop, prog.Goto(next),
+		prog.Writes(prog.F(0)), prog.Kills(prog.F(0)))
+	b.Bind(next)
+	b.Add(nop, append(retNote(), prog.Reads(prog.F(0)))...)
+	op := b.Build(0, "killed", 1)
+	f := Analyze(op)
+	if !f.Complete {
+		t.Fatalf("not complete: %s", f.Reason)
+	}
+	if got := f.TaintIn[1][sched.NumRegs]; got != NotPtr {
+		t.Errorf("F0 taint-in at block 1 = %s, want not-ptr (killed scalar)", got)
+	}
+	if f.Mask.Frame[0] {
+		t.Error("F0 never holds a pointer; must be elided")
+	}
+}
+
+func TestAnalyzeMayWriteJoins(t *testing.T) {
+	// F0 is only may-written with a pointer (no Kill), so the entry
+	// garbage joins with MaybeHeapPtr and stays Top downstream — and the
+	// slot is read later, so it must be tracked.
+	b := prog.NewBuilder()
+	next := b.Label()
+	b.Add(nop, prog.Goto(next), prog.LoadsPtr(prog.F(0)))
+	b.Bind(next)
+	b.Add(nop, append(retNote(), prog.Reads(prog.F(0)))...)
+	op := b.Build(0, "maywrite", 1)
+	f := Analyze(op)
+	if !f.Complete {
+		t.Fatalf("not complete: %s", f.Reason)
+	}
+	if got := f.TaintIn[1][sched.NumRegs]; got != Top {
+		t.Errorf("F0 taint-in at block 1 = %s, want top (garbage ∨ maybe-ptr)", got)
+	}
+	if !f.Mask.Frame[0] {
+		t.Error("a live possibly-pointer slot must be tracked")
+	}
+}
+
+func TestAnalyzeLoopFixpoint(t *testing.T) {
+	// A traversal loop: block 1 re-writes F0 with a pointer and branches
+	// back to itself. The fixpoint must converge with F0 tracked and the
+	// analysis must terminate.
+	b := prog.NewBuilder()
+	loop := b.Label()
+	done := b.Label()
+	b.Add(nop, prog.Goto(loop),
+		prog.LoadsPtr(prog.F(0)), prog.Kills(prog.F(0)))
+	b.Bind(loop)
+	b.Add(nop, prog.Goto(loop, done),
+		prog.Reads(prog.F(0)), prog.LoadsPtr(prog.F(0)), prog.Kills(prog.F(0)))
+	b.Bind(done)
+	b.Add(nop, retNote()...)
+	op := b.Build(0, "loop", 1)
+	f := Analyze(op)
+	if !f.Complete {
+		t.Fatalf("not complete: %s", f.Reason)
+	}
+	if !f.Mask.Frame[0] {
+		t.Error("the loop's node pointer must be tracked")
+	}
+	if got := f.TaintIn[1][sched.NumRegs]; got != MaybeHeapPtr {
+		t.Errorf("F0 at the loop head = %s, want maybe-ptr (killed on every path in)", got)
+	}
+	// Liveness: F0 is dead at the exit block (never read there).
+	if f.LiveIn[2][sched.NumRegs] {
+		t.Error("F0 must be dead at the exit block")
+	}
+}
+
+func TestAnalyzeEntryConvention(t *testing.T) {
+	// Argument registers arrive NotPtr; everything else is Top.
+	b := prog.NewBuilder()
+	b.Add(nop, append(retNote(), prog.Reads(prog.R(1)))...)
+	op := b.Build(0, "entry", 1)
+	f := Analyze(op)
+	if !f.Complete {
+		t.Fatalf("not complete: %s", f.Reason)
+	}
+	for r := prog.RegResult; r <= prog.RegArg3; r++ {
+		if f.TaintIn[0][r] != NotPtr {
+			t.Errorf("R%d entry taint = %s, want not-ptr (scalar calling convention)", r, f.TaintIn[0][r])
+		}
+	}
+	if f.TaintIn[0][prog.RegArg3+1] != Top {
+		t.Errorf("scratch register entry taint = %s, want top", f.TaintIn[0][prog.RegArg3+1])
+	}
+	if f.TaintIn[0][sched.NumRegs] != Top {
+		t.Errorf("frame slot entry taint = %s, want top", f.TaintIn[0][sched.NumRegs])
+	}
+	// The key register is a live scalar: live but NotPtr, so elided.
+	if !f.LiveIn[0][1] {
+		t.Error("R1 is read; must be live-in at entry")
+	}
+	if f.Mask.Regs[1] {
+		t.Error("R1 is a scalar argument; must be elided despite being live")
+	}
+}
+
+func TestMaskAndReportRendering(t *testing.T) {
+	b := prog.NewBuilder()
+	b.Add(nop, append(retNote(),
+		prog.Reads(prog.F(1)), prog.LoadsPtr(prog.F(1)))...)
+	op := b.Build(0, "render", 3)
+	f := Analyze(op)
+	if !f.Complete {
+		t.Fatalf("not complete: %s", f.Reason)
+	}
+	if got := f.Mask.String(); got != "frame{1}/3 regs{}" {
+		t.Errorf("mask rendering = %q", got)
+	}
+	if f.Mask.TrackedFrame() != 1 || f.Mask.TrackedRegs() != 0 {
+		t.Errorf("tracked counts = %d/%d, want 1/0", f.Mask.TrackedFrame(), f.Mask.TrackedRegs())
+	}
+	if s := f.Summary(); !strings.Contains(s, "render") || !strings.Contains(s, "frame{1}/3") {
+		t.Errorf("summary should carry the op name and mask: %q", s)
+	}
+	if r := f.Report(); !strings.Contains(r, "block 0") || !strings.Contains(r, "F1=") {
+		t.Errorf("report should list per-block facts: %q", r)
+	}
+}

@@ -1,0 +1,51 @@
+package dataflow
+
+// Human-readable fact tables: the stsim -lint -dataflow report and the
+// CI artifact. The format is line-oriented and stable so the lint job can
+// diff artifacts across runs.
+
+import (
+	"fmt"
+	"strings"
+
+	"stacktrack/internal/sched"
+)
+
+// Summary renders one line per operation: the mask and the elision win.
+func (f *Facts) Summary() string {
+	if !f.Complete {
+		return fmt.Sprintf("%-18s NO FACTS (%s)", f.Op.Name, f.Reason)
+	}
+	total := f.Op.FrameWords + sched.NumRegs
+	tracked := f.Mask.TrackedFrame() + f.Mask.TrackedRegs()
+	return fmt.Sprintf("%-18s blocks=%-3d tracked=%d/%d %s",
+		f.Op.Name, len(f.Op.Blocks), tracked, total, f.Mask)
+}
+
+// Report renders the full per-block fact table: for every block, the
+// locations whose taint-in is pointer-bearing, the live sets, and the
+// declared effects that produced them.
+func (f *Facts) Report() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "op %s: frame=%d words, %d blocks\n", f.Op.Name, f.Op.FrameWords, len(f.Op.Blocks))
+	if !f.Complete {
+		fmt.Fprintf(&sb, "  no facts: %s\n", f.Reason)
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "  mask: %s\n", f.Mask)
+	w := nLocs(f.Op)
+	for b := range f.TaintIn {
+		fmt.Fprintf(&sb, "  block %d:", b)
+		var ptrs, live []string
+		for i := 0; i < w; i++ {
+			if f.TaintIn[b][i] >= MaybeHeapPtr {
+				ptrs = append(ptrs, fmt.Sprintf("%s=%s", locName(i), f.TaintIn[b][i]))
+			}
+			if f.LiveIn[b][i] {
+				live = append(live, locName(i))
+			}
+		}
+		fmt.Fprintf(&sb, " ptr-in[%s] live-in[%s]\n", strings.Join(ptrs, " "), strings.Join(live, " "))
+	}
+	return sb.String()
+}

@@ -1,0 +1,56 @@
+package prog
+
+import (
+	"fmt"
+
+	"stacktrack/internal/sched"
+)
+
+// Loc names one storage location an operation block can touch: a working
+// register (R) or a slot of the operation's stack frame (F). Effect notes
+// (Reads/Writes/LoadsPtr/Kills) are sets of Locs; the dataflow pass keys
+// its taint and liveness facts on them.
+type Loc struct {
+	// IsFrame distinguishes frame slots from registers.
+	IsFrame bool
+	// Index is the register number or the frame-slot index.
+	Index int
+}
+
+// R returns the Loc for working register i.
+func R(i int) Loc { return Loc{Index: i} }
+
+// F returns the Loc for frame slot i (relative to the operation's frame).
+func F(i int) Loc { return Loc{IsFrame: true, Index: i} }
+
+// String renders the location the way diagnostics and fact tables print
+// it: R3, F7.
+func (l Loc) String() string {
+	if l.IsFrame {
+		return fmt.Sprintf("F%d", l.Index)
+	}
+	return fmt.Sprintf("R%d", l.Index)
+}
+
+// valid reports whether the location exists for an operation with the
+// given frame size. frameWords < 0 means the frame size is unknown (the
+// builder's standalone Verify), which skips the frame upper bound.
+func (l Loc) valid(frameWords int) bool {
+	if l.Index < 0 {
+		return false
+	}
+	if l.IsFrame {
+		return frameWords < 0 || l.Index < frameWords
+	}
+	return l.Index < sched.NumRegs
+}
+
+// locIn reports set membership.
+func locIn(locs []Loc, l Loc) bool {
+	for _, x := range locs {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}

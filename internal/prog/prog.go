@@ -133,7 +133,13 @@ func (r *PlainRunner) Step(t *sched.Thread) bool {
 		v0 = t.VTime()
 	}
 	t.Charge(cost.Block)
+	if t.EffectObs != nil {
+		t.EffectObs.BlockStart(t, r.op.Name, cur)
+	}
 	r.pc = r.op.Blocks[r.pc](t, r.frame)
+	if t.EffectObs != nil {
+		t.EffectObs.BlockEnd(t, r.op.Name, cur, true)
+	}
 	if r.pc == Done {
 		t.PopFrame(r.frame)
 		t.Scheme.EndOp(t)

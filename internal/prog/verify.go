@@ -37,6 +37,26 @@ const (
 	DiagUnreachable  = "unreachable"   // block unreachable from the entry block
 	DiagR0Unwritten  = "r0-unwritten"  // a path from entry reaches return without writing R0
 	DiagAtomicEntry  = "atomic-entry"  // branch into the middle of an atomic region
+
+	// DiagPartialAnnotation reports an operation where only some blocks
+	// carry control-flow annotations. The CFG checks cannot run against
+	// half a graph, and silently downgrading to label-only checking (the
+	// old behavior) hid exactly the annotation rot the verifier exists to
+	// catch — so a partially annotated operation is now itself a finding.
+	DiagPartialAnnotation = "partial-annotation"
+	// DiagEffectPartial is the effect-layer analogue: some blocks declare
+	// Reads/Writes/LoadsPtr/Kills and others do not, so the dataflow pass
+	// would have to guess the missing blocks' behavior.
+	DiagEffectPartial = "effect-partial"
+	// DiagEffectRange reports an effect naming a location that does not
+	// exist: a register beyond the register file or a frame slot beyond
+	// the operation's declared frame.
+	DiagEffectRange = "effect-range"
+	// DiagEffectMismatch reports declared effects that contradict each
+	// other or the control-flow notes: SetsResult without R0 in the write
+	// sets, or a killed location with no declared written value
+	// (Kills ⊄ Writes ∪ LoadsPtr).
+	DiagEffectMismatch = "effect-mismatch"
 )
 
 // Diagnostic is one verifier finding.
@@ -64,6 +84,15 @@ type BlockInfo struct {
 	SetsResult bool
 	Atomic     bool
 	Annotated  bool
+
+	// Effects reports whether the block declared its data effects (via
+	// Reads/Writes/LoadsPtr/Kills/NoEffects). The sets below are only
+	// meaningful when it is true.
+	Effects  bool
+	Reads    []Loc
+	Writes   []Loc
+	LoadsPtr []Loc
+	Kills    []Loc
 }
 
 // CFG returns the operation's declared control-flow graph, one entry per
@@ -72,8 +101,14 @@ func (o *Op) CFG() []BlockInfo { return o.cfg }
 
 // Verify runs the static checks against the builder's current state and
 // returns the findings without panicking (Build panics on the same
-// findings). name labels the diagnostics.
+// findings). name labels the diagnostics. The frame size is unknown here,
+// so frame-slot effects are only range-checked at Build/VerifyOp.
 func (b *Builder) Verify(name string) []Diagnostic {
+	return b.verifyAll(name, -1)
+}
+
+// verifyAll is Verify with the frame size known (Build's entry point).
+func (b *Builder) verifyAll(name string, frameWords int) []Diagnostic {
 	var ds []Diagnostic
 	if len(b.blocks) == 0 {
 		ds = append(ds, Diagnostic{Op: name, Block: -1, Code: DiagEmptyOp, Msg: "operation has no blocks"})
@@ -93,7 +128,9 @@ func (b *Builder) Verify(name string) []Diagnostic {
 		// Unresolvable labels make the CFG meaningless; stop here.
 		return ds
 	}
-	return append(ds, verifyCFG(name, b.resolveCFG(), b.attrs)...)
+	cfg := b.resolveCFG()
+	ds = append(ds, verifyCFG(name, cfg, b.attrs)...)
+	return append(ds, verifyEffects(name, cfg, frameWords)...)
 }
 
 // VerifyOp re-runs the CFG checks against a built operation — the stsim
@@ -104,7 +141,8 @@ func VerifyOp(o *Op) []Diagnostic {
 	if len(o.Blocks) == 0 {
 		return []Diagnostic{{Op: o.Name, Block: -1, Code: DiagEmptyOp, Msg: "operation has no blocks"}}
 	}
-	return verifyCFG(o.Name, o.cfg, o.attrs)
+	ds := verifyCFG(o.Name, o.cfg, o.attrs)
+	return append(ds, verifyEffects(o.Name, o.cfg, o.FrameWords)...)
 }
 
 // Annotated reports whether every block of the operation carries control-
@@ -121,6 +159,21 @@ func (o *Op) Annotated() bool {
 	return true
 }
 
+// EffectsAnnotated reports whether every block of the operation declares
+// its data effects — the precondition for the dataflow pass to trust the
+// operation.
+func (o *Op) EffectsAnnotated() bool {
+	if len(o.cfg) == 0 {
+		return false
+	}
+	for _, bi := range o.cfg {
+		if !bi.Effects {
+			return false
+		}
+	}
+	return true
+}
+
 // resolveCFG materializes the per-block metadata with labels resolved.
 func (b *Builder) resolveCFG() []BlockInfo {
 	cfg := make([]BlockInfo, len(b.blocks))
@@ -131,6 +184,11 @@ func (b *Builder) resolveCFG() []BlockInfo {
 			SetsResult: m.setsR0,
 			Atomic:     b.attrs[i]&AttrAtomic != 0,
 			Annotated:  m.annotated,
+			Effects:    m.effects,
+			Reads:      m.reads,
+			Writes:     m.writes,
+			LoadsPtr:   m.loadsPtr,
+			Kills:      m.kills,
 		}
 		for _, l := range m.gotos {
 			bi.Succs = append(bi.Succs, *l)
@@ -145,13 +203,22 @@ func (b *Builder) resolveCFG() []BlockInfo {
 func verifyCFG(name string, cfg []BlockInfo, attrs []uint8) []Diagnostic {
 	var ds []Diagnostic
 	n := len(cfg)
-	for _, bi := range cfg {
-		if !bi.Annotated {
-			return ds // legacy mode: label checks only
-		}
-	}
 	if n == 0 {
 		return ds
+	}
+	if missing := unannotated(cfg); len(missing) > 0 {
+		if len(missing) == n {
+			// Fully unannotated: legacy mode, label checks only. Ad-hoc
+			// test operations keep working without declarations.
+			return ds
+		}
+		// Partially annotated operations used to silently fall back to
+		// legacy mode, skipping reachability and exit checks on the very
+		// operations whose authors thought they were covered.
+		return append(ds, Diagnostic{
+			Op: name, Block: -1, Code: DiagPartialAnnotation,
+			Msg: fmt.Sprintf("blocks %s lack control-flow annotations while others declare them; CFG checks skipped — annotate every block (or none)", intList(missing)),
+		})
 	}
 
 	atomic := func(i int) bool { return i < len(attrs) && attrs[i]&AttrAtomic != 0 }
@@ -252,6 +319,94 @@ func verifyCFG(name string, cfg []BlockInfo, attrs []uint8) []Diagnostic {
 		}
 	}
 	return ds
+}
+
+// verifyEffects runs the effect-layer checks: per-block internal
+// consistency of the declared Reads/Writes/LoadsPtr/Kills sets, their
+// agreement with the control-flow notes, and all-or-nothing effect
+// coverage. The checks are local (no graph walk), so they run even for
+// operations whose CFG annotations are partial. frameWords < 0 skips the
+// frame-slot upper bound (standalone Builder.Verify).
+func verifyEffects(name string, cfg []BlockInfo, frameWords int) []Diagnostic {
+	var ds []Diagnostic
+	var withEffects int
+	for _, bi := range cfg {
+		if bi.Effects {
+			withEffects++
+		}
+	}
+	if withEffects > 0 && withEffects < len(cfg) {
+		var missing []int
+		for i, bi := range cfg {
+			if !bi.Effects {
+				missing = append(missing, i)
+			}
+		}
+		ds = append(ds, Diagnostic{
+			Op: name, Block: -1, Code: DiagEffectPartial,
+			Msg: fmt.Sprintf("blocks %s declare no effects while others do; the dataflow pass needs every block covered (use NoEffects for blocks that touch nothing)", intList(missing)),
+		})
+	}
+
+	for i, bi := range cfg {
+		if !bi.Effects {
+			continue
+		}
+		for _, set := range []struct {
+			kind string
+			locs []Loc
+		}{{"Reads", bi.Reads}, {"Writes", bi.Writes}, {"LoadsPtr", bi.LoadsPtr}, {"Kills", bi.Kills}} {
+			for _, l := range set.locs {
+				if !l.valid(frameWords) {
+					ds = append(ds, Diagnostic{
+						Op: name, Block: i, Code: DiagEffectRange,
+						Msg: fmt.Sprintf("%s names %s, outside the register file / %d-word frame", set.kind, l, frameWords),
+					})
+				}
+			}
+		}
+		for _, l := range bi.Kills {
+			if !locIn(bi.Writes, l) && !locIn(bi.LoadsPtr, l) {
+				ds = append(ds, Diagnostic{
+					Op: name, Block: i, Code: DiagEffectMismatch,
+					Msg: fmt.Sprintf("Kills %s but neither Writes nor LoadsPtr declares the written value", l),
+				})
+			}
+		}
+		if bi.SetsResult {
+			r0 := R(RegResult)
+			if !locIn(bi.Writes, r0) && !locIn(bi.LoadsPtr, r0) {
+				ds = append(ds, Diagnostic{
+					Op: name, Block: i, Code: DiagEffectMismatch,
+					Msg: "declared SetsResult but effects never write R0 (add Writes(R(0)) or LoadsPtr(R(0)))",
+				})
+			}
+		}
+	}
+	return ds
+}
+
+// unannotated lists the blocks lacking control-flow annotations.
+func unannotated(cfg []BlockInfo) []int {
+	var missing []int
+	for i, bi := range cfg {
+		if !bi.Annotated {
+			missing = append(missing, i)
+		}
+	}
+	return missing
+}
+
+// intList renders a block-index list for diagnostics.
+func intList(idx []int) string {
+	var sb strings.Builder
+	for i, b := range idx {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		fmt.Fprintf(&sb, "%d", b)
+	}
+	return sb.String()
 }
 
 // pathTo renders the entry→i example path recorded by the verifier walk.

@@ -204,3 +204,61 @@ func TestVerifyOpCleanAndCFGExposed(t *testing.T) {
 		t.Fatalf("effects should survive into BlockInfo: %+v", cfg[1])
 	}
 }
+
+func TestVerifyAtomicRegionAtBlockZero(t *testing.T) {
+	// An atomic region that starts at block 0 is legal: the op entry IS
+	// the region head, so neither entering the op nor looping back to
+	// block 0 jumps into the middle of a region.
+	b := NewBuilder()
+	lbHead := b.Label()
+	lbOut := b.Label()
+	b.AtomicBegin()
+	b.Bind(lbHead)
+	b.Add(nop, Goto(lbHead, lbOut), NoEffects())
+	b.AtomicEnd()
+	b.Bind(lbOut)
+	b.Add(nop, Returns(), SetsResult(), Writes(R(0)), Kills(R(0)))
+	if ds := b.Verify("good"); len(ds) != 0 {
+		t.Fatalf("atomic region at block 0 must verify clean: %v", ds)
+	}
+	op := b.Build(0, "atomic0", 0)
+	cfg := op.CFG()
+	if !cfg[0].Atomic || cfg[1].Atomic {
+		t.Fatalf("attrs should mark exactly block 0 atomic: %+v", cfg)
+	}
+}
+
+func TestVerifySingleBlockNoSuccessors(t *testing.T) {
+	// A one-block op with no Goto at all: legal when it Returns...
+	b := NewBuilder()
+	b.Add(nop, Returns(), SetsResult(), Writes(R(0)), Kills(R(0)))
+	if ds := b.Verify("good"); len(ds) != 0 {
+		t.Fatalf("single returning block must verify clean: %v", ds)
+	}
+
+	// ...and a no-exit diagnostic when it neither branches nor returns,
+	// even with full effect annotations (effects do not imply an exit).
+	b2 := NewBuilder()
+	b2.Add(nop, SetsResult(), NoEffects())
+	ds := b2.Verify("bad")
+	if !hasDiag(ds, DiagNoExit) {
+		t.Fatalf("want %s for an annotated dead-end block, got %v", DiagNoExit, ds)
+	}
+}
+
+func TestVerifyLabelPastEndShortCircuitsLaterChecks(t *testing.T) {
+	// A label bound exactly one past the end makes every successor index
+	// unusable; the verifier must report the label and stop rather than
+	// walk the broken CFG (or index out of range in the effect checks).
+	b := NewBuilder()
+	lb := b.Label()
+	b.Add(nop, Goto(lb), Returns(), SetsResult(), Writes(R(0)), Kills(R(0)))
+	b.Bind(lb) // == len(blocks): one past the end
+	ds := b.Verify("bad")
+	if len(ds) != 1 || ds[0].Code != DiagUnboundLabel {
+		t.Fatalf("want exactly one %s, got %v", DiagUnboundLabel, ds)
+	}
+	if !strings.Contains(ds[0].Msg, "1") {
+		t.Fatalf("message should show the out-of-range target: %q", ds[0].Msg)
+	}
+}

@@ -1,0 +1,222 @@
+package sanitize_test
+
+// Tests for the dynamic effect oracle: each deliberately mis-annotated
+// operation must trip exactly the violation kind its lie corresponds to,
+// and a correctly annotated one must run silent. These are the tests that
+// keep the oracle honest — the benchmark-level tests only ever see clean
+// annotations.
+
+import (
+	"testing"
+
+	"stacktrack/internal/alloc"
+	"stacktrack/internal/mem"
+	"stacktrack/internal/prog"
+	"stacktrack/internal/reclaim"
+	"stacktrack/internal/sanitize"
+	"stacktrack/internal/sched"
+	"stacktrack/internal/word"
+)
+
+// effWorld is the minimal machine for driving one op under the checker.
+type effWorld struct {
+	m  *mem.Memory
+	al *alloc.Allocator
+	th *sched.Thread
+	ec *sanitize.EffectChecker
+}
+
+func newEffWorld(t *testing.T) *effWorld {
+	t.Helper()
+	m := mem.New(mem.Config{Words: 1 << 16})
+	al := alloc.New(m)
+	th := sched.NewThread(0, m, al, 1)
+	th.Scheme = reclaim.NewLeak()
+	ec := sanitize.NewEffectChecker(1, al)
+	th.EffectObs = ec
+	return &effWorld{m: m, al: al, th: th, ec: ec}
+}
+
+func (w *effWorld) run(t *testing.T, op *prog.Op, args ...uint64) {
+	t.Helper()
+	var a [3]uint64
+	copy(a[:], args)
+	w.th.SetReg(prog.RegArg1, a[0])
+	w.th.SetReg(prog.RegArg2, a[1])
+	w.th.SetReg(prog.RegArg3, a[2])
+	r := &prog.PlainRunner{}
+	r.Start(w.th, op)
+	for i := 0; !r.Step(w.th); i++ {
+		if i > 1_000_000 {
+			t.Fatalf("operation %s did not terminate", op.Name)
+		}
+	}
+}
+
+// wantFinding asserts the checker holds exactly one deduplicated finding
+// with the given kind and location.
+func wantFinding(t *testing.T, ec *sanitize.EffectChecker, kind, loc string) {
+	t.Helper()
+	if len(ec.Findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %v", len(ec.Findings), ec.Findings)
+	}
+	f := ec.Findings[0]
+	if f.Kind != kind || f.Loc != loc {
+		t.Fatalf("got finding %v, want kind=%s loc=%s", f, kind, loc)
+	}
+}
+
+func TestEffectOracleCleanOp(t *testing.T) {
+	w := newEffWorld(t)
+	b := prog.NewBuilder()
+	b.Add(func(th *sched.Thread, f sched.Frame) int {
+		f.Set(0, th.Reg(prog.RegArg1)+1)
+		th.SetReg(prog.RegResult, f.Get(0))
+		return prog.Done
+	}, prog.Returns(), prog.SetsResult(),
+		prog.Reads(prog.R(prog.RegArg1), prog.F(0)),
+		prog.Writes(prog.F(0), prog.R(prog.RegResult)),
+		prog.Kills(prog.F(0), prog.R(prog.RegResult)))
+	op := b.Build(1, "test.Clean", 1)
+	w.ec.AddOps(op)
+
+	w.run(t, op, 41)
+	if w.ec.Violations != 0 {
+		t.Fatalf("clean op reported violations:\n%s", w.ec.EffectSummary())
+	}
+	if got := w.th.Reg(prog.RegResult); got != 42 {
+		t.Fatalf("result = %d, want 42", got)
+	}
+}
+
+func TestEffectOracleUndeclaredRead(t *testing.T) {
+	w := newEffWorld(t)
+	b := prog.NewBuilder()
+	b.Add(func(th *sched.Thread, f sched.Frame) int {
+		_ = th.Reg(prog.RegArg1) // lie: only the R0 write is declared
+		th.SetReg(prog.RegResult, 0)
+		return prog.Done
+	}, prog.Returns(), prog.SetsResult(),
+		prog.Writes(prog.R(prog.RegResult)), prog.Kills(prog.R(prog.RegResult)))
+	op := b.Build(1, "test.BadRead", 0)
+	w.ec.AddOps(op)
+
+	w.run(t, op, 7)
+	wantFinding(t, w.ec, sanitize.EffUndeclaredRead, "R1")
+}
+
+func TestEffectOracleUndeclaredWrite(t *testing.T) {
+	w := newEffWorld(t)
+	b := prog.NewBuilder()
+	b.Add(func(th *sched.Thread, f sched.Frame) int {
+		f.Set(0, 9) // lie: effects only declare a read of the slot
+		th.SetReg(prog.RegResult, 0)
+		return prog.Done
+	}, prog.Returns(), prog.SetsResult(), prog.Reads(prog.F(0)),
+		prog.Writes(prog.R(prog.RegResult)), prog.Kills(prog.R(prog.RegResult)))
+	op := b.Build(1, "test.BadWrite", 1)
+	w.ec.AddOps(op)
+
+	w.run(t, op)
+	wantFinding(t, w.ec, sanitize.EffUndeclaredWrite, "F0")
+}
+
+func TestEffectOraclePtrToNonPtr(t *testing.T) {
+	w := newEffWorld(t)
+	obj := w.al.Alloc(0, 2) // live heap object: pointer evidence
+	b := prog.NewBuilder()
+	b.Add(func(th *sched.Thread, f sched.Frame) int {
+		f.Set(0, uint64(obj)) // lie: slot declared Writes, not LoadsPtr
+		th.SetReg(prog.RegResult, 0)
+		return prog.Done
+	}, prog.Returns(), prog.SetsResult(),
+		prog.Writes(prog.F(0), prog.R(prog.RegResult)),
+		prog.Kills(prog.F(0), prog.R(prog.RegResult)))
+	op := b.Build(1, "test.BadPtr", 1)
+	w.ec.AddOps(op)
+
+	w.run(t, op)
+	wantFinding(t, w.ec, sanitize.EffPtrToNonPtr, "F0")
+}
+
+func TestEffectOracleMissedKill(t *testing.T) {
+	w := newEffWorld(t)
+	b := prog.NewBuilder()
+	b.Add(func(th *sched.Thread, f sched.Frame) int {
+		th.SetReg(prog.RegResult, 0)
+		return prog.Done // lie: Kills(F0) promised a must-write
+	}, prog.Returns(), prog.SetsResult(),
+		prog.Writes(prog.F(0), prog.R(prog.RegResult)),
+		prog.Kills(prog.F(0), prog.R(prog.RegResult)))
+	op := b.Build(1, "test.BadKill", 1)
+	w.ec.AddOps(op)
+
+	w.run(t, op)
+	wantFinding(t, w.ec, sanitize.EffMissedKill, "F0")
+}
+
+// TestEffectOracleDedups: repeated executions of the same lying block keep
+// counting violations but report the finding once.
+func TestEffectOracleDedups(t *testing.T) {
+	w := newEffWorld(t)
+	b := prog.NewBuilder()
+	b.Add(func(th *sched.Thread, f sched.Frame) int {
+		f.Set(0, 1) // lie: the slot write is undeclared
+		th.SetReg(prog.RegResult, 0)
+		return prog.Done
+	}, prog.Returns(), prog.SetsResult(),
+		prog.Writes(prog.R(prog.RegResult)), prog.Kills(prog.R(prog.RegResult)))
+	op := b.Build(1, "test.Repeat", 1)
+	w.ec.AddOps(op)
+
+	w.run(t, op)
+	w.run(t, op)
+	w.run(t, op)
+	if w.ec.Violations != 3 {
+		t.Fatalf("Violations = %d, want 3", w.ec.Violations)
+	}
+	if len(w.ec.Findings) != 1 {
+		t.Fatalf("Findings = %v, want one deduplicated entry", w.ec.Findings)
+	}
+}
+
+// TestEffectOracleIgnoresUnannotated: ops without effect annotations (or
+// not registered at all) never arm the checker.
+func TestEffectOracleIgnoresUnannotated(t *testing.T) {
+	w := newEffWorld(t)
+	b := prog.NewBuilder()
+	b.Add(func(th *sched.Thread, f sched.Frame) int {
+		f.Set(0, th.Reg(prog.RegArg1))
+		th.SetReg(prog.RegResult, f.Get(0))
+		return prog.Done
+	})
+	op := b.Build(1, "test.Legacy", 1)
+	w.ec.AddOps(op)
+
+	w.run(t, op, 5)
+	if w.ec.Violations != 0 {
+		t.Fatalf("unannotated op reported violations:\n%s", w.ec.EffectSummary())
+	}
+}
+
+// TestEffectOraclePtrDeclaredOK: a heap pointer landing in a LoadsPtr
+// location is exactly what the annotation promises — no finding.
+func TestEffectOraclePtrDeclaredOK(t *testing.T) {
+	w := newEffWorld(t)
+	obj := w.al.Alloc(0, 2)
+	b := prog.NewBuilder()
+	b.Add(func(th *sched.Thread, f sched.Frame) int {
+		f.Set(0, uint64(obj))
+		th.SetReg(prog.RegResult, uint64(word.Ptr(f.Get(0))))
+		return prog.Done
+	}, prog.Returns(), prog.SetsResult(),
+		prog.Reads(prog.F(0)), prog.LoadsPtr(prog.F(0), prog.R(prog.RegResult)),
+		prog.Kills(prog.F(0), prog.R(prog.RegResult)))
+	op := b.Build(1, "test.GoodPtr", 1)
+	w.ec.AddOps(op)
+
+	w.run(t, op)
+	if w.ec.Violations != 0 {
+		t.Fatalf("declared pointer write reported violations:\n%s", w.ec.EffectSummary())
+	}
+}

@@ -91,24 +91,37 @@ type Summary struct {
 	Redzone     uint64
 	Wild        uint64
 
+	// EffectViolations counts effect-declaration violations when the
+	// dynamic effect oracle ran (see effects.go); Effects holds the
+	// deduplicated findings.
+	EffectViolations uint64
+
 	Races    []RaceReport
 	Accesses []AccessReport
+	Effects  []EffectFinding
 }
 
 // Clean reports whether the sanitizer observed no violations at all.
 func (s *Summary) Clean() bool {
-	return s.DataRaces == 0 && s.UAFAccesses == 0 && s.Redzone == 0 && s.Wild == 0
+	return s.DataRaces == 0 && s.UAFAccesses == 0 && s.Redzone == 0 &&
+		s.Wild == 0 && s.EffectViolations == 0
 }
 
 func (s *Summary) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "sanitizer: %d data race(s), %d use-after-free, %d redzone, %d wild access(es)",
 		s.DataRaces, s.UAFAccesses, s.Redzone, s.Wild)
+	if s.EffectViolations > 0 {
+		fmt.Fprintf(&b, ", %d effect violation(s)", s.EffectViolations)
+	}
 	for _, r := range s.Races {
 		fmt.Fprintf(&b, "\n  %s", r)
 	}
 	for _, r := range s.Accesses {
 		fmt.Fprintf(&b, "\n  %s", r)
+	}
+	for _, f := range s.Effects {
+		fmt.Fprintf(&b, "\n  %s", f)
 	}
 	return b.String()
 }

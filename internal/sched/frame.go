@@ -57,12 +57,18 @@ func (t *Thread) SetSP(sp int) { t.sp = sp }
 // locals are never slow-path instrumented.
 func (f Frame) Get(i int) uint64 {
 	f.check(i)
+	if f.t.EffectObs != nil {
+		f.t.EffectObs.SlotRead(f.t, i)
+	}
 	return f.t.LoadLocal(f.base + word.Addr(i))
 }
 
 // Set writes frame slot i (see Get).
 func (f Frame) Set(i int, v uint64) {
 	f.check(i)
+	if f.t.EffectObs != nil {
+		f.t.EffectObs.SlotWrite(f.t, i, v)
+	}
 	f.t.StoreLocal(f.base+word.Addr(i), v)
 }
 

@@ -128,6 +128,11 @@ type Thread struct {
 	// profiling cannot change simulated results.
 	Prof *metrics.ThreadProfile
 
+	// EffectObs, when non-nil, receives register/frame access events for
+	// the dynamic effect oracle (see effects.go). Purely observational,
+	// like Tracer and Prof.
+	EffectObs EffectObserver
+
 	// Scheduler bookkeeping.
 	hw          int // hardware context index
 	running     bool
@@ -409,10 +414,20 @@ func (t *Thread) FreeNow(p word.Addr) {
 // --- Registers -------------------------------------------------------------
 
 // Reg returns working register i.
-func (t *Thread) Reg(i int) uint64 { return t.regs[i] }
+func (t *Thread) Reg(i int) uint64 {
+	if t.EffectObs != nil {
+		t.EffectObs.RegRead(t, i)
+	}
+	return t.regs[i]
+}
 
 // SetReg sets working register i.
-func (t *Thread) SetReg(i int, v uint64) { t.regs[i] = v }
+func (t *Thread) SetReg(i int, v uint64) {
+	if t.EffectObs != nil {
+		t.EffectObs.RegWrite(t, i, v)
+	}
+	t.regs[i] = v
+}
 
 // RegSnapshot copies the register file out (segment-start snapshot).
 func (t *Thread) RegSnapshot() [NumRegs]uint64 { return t.regs }

@@ -24,10 +24,21 @@ fi
 echo "== go vet =="
 go vet ./...
 
-echo "== stlint (statesem, simclock, metrichandle) =="
+echo "== stlint (statesem, simclock, metrichandle, effectdecl) =="
 go run ./cmd/stlint -root .
 
-echo "== stsim -lint (prog-IR verifier) =="
-go run ./cmd/stsim -lint
+echo "== stsim -lint -dataflow (prog-IR verifier + dataflow facts) =="
+# The dataflow pass prints each operation's fact table and scan track
+# mask, and fails (exit 1) when any operation has no facts or degenerates
+# to Top everywhere — i.e. scan elision silently fell back to full scans.
+# Set DATAFLOW_REPORT to also keep the listing as a file (CI uploads it
+# as an artifact so mask regressions are diffable across runs).
+# (No `| tee`: a pipeline would hide stsim's exit code from set -e.)
+if [ -n "${DATAFLOW_REPORT:-}" ]; then
+    go run ./cmd/stsim -lint -dataflow >"$DATAFLOW_REPORT" || { cat "$DATAFLOW_REPORT"; exit 1; }
+    cat "$DATAFLOW_REPORT"
+else
+    go run ./cmd/stsim -lint -dataflow
+fi
 
 echo "lint: all clean"
