@@ -59,8 +59,23 @@ func main() {
 		profile    = flag.Bool("profile", false, "enable the virtual-cycle profiler on every point")
 		checkEff   = flag.Bool("check-effects", false, "arm the effect-soundness oracle on every point (declared effects vs executed accesses)")
 		noElide    = flag.Bool("no-scan-elide", false, "disable dataflow-driven scan elision (scan every frame word and register)")
+		hostLegacy = flag.Bool("host-legacy", false, "force the pre-optimization host code paths (simulated results are identical; only host speed changes)")
 	)
+	prof := cli.ProfileFlags(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stbench: %v\n", err)
+		cli.Exit(cli.ExitUsage)
+	}
+	defer stopProf()
+
+	// E17 measures host wall-clock; simulated packages may not read host
+	// clocks (simclock), so the clock is injected from out here. A
+	// monotonic base makes the measurement immune to wall-clock steps.
+	procStart := time.Now()
+	bench.HostClock = func() int64 { return int64(time.Since(procStart)) }
 
 	if *list {
 		for _, line := range bench.ExperimentInventory() {
@@ -87,11 +102,12 @@ func main() {
 	opts.Profile = *profile
 	opts.CheckEffects = *checkEff
 	opts.NoScanElide = *noElide
+	opts.HostLegacy = *hostLegacy
 	if *threads != "" {
 		parsed, err := cli.ParseIntList(*threads)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "stbench: -threads: %v\n", err)
-			os.Exit(cli.ExitUsage)
+			cli.Exit(cli.ExitUsage)
 		}
 		opts.Threads = parsed
 	}
@@ -139,7 +155,7 @@ func main() {
 				for _, line := range bench.ExperimentInventory() {
 					fmt.Fprintf(os.Stderr, "  %s\n", line)
 				}
-				os.Exit(cli.ExitUsage)
+				cli.Exit(cli.ExitUsage)
 			}
 			exps = append(exps, e)
 		}
@@ -174,7 +190,7 @@ func main() {
 				break
 			}
 			fmt.Fprintf(os.Stderr, "stbench: %s: %v\n", e.Name, err)
-			os.Exit(cli.ExitFailure)
+			cli.Exit(cli.ExitFailure)
 		}
 		complete++
 		if *csv {
@@ -204,7 +220,7 @@ func main() {
 		}
 		if err := bench.WriteResultsJSON(*jsonOut, doc); err != nil {
 			fmt.Fprintf(os.Stderr, "stbench: %v\n", err)
-			os.Exit(cli.ExitFailure)
+			cli.Exit(cli.ExitFailure)
 		}
 	}
 	if *baseline != "" {
@@ -213,7 +229,7 @@ func main() {
 			path := bench.BaselineFile(*baseline, exps[i])
 			if err := bench.WriteResultsJSON(path, doc); err != nil {
 				fmt.Fprintf(os.Stderr, "stbench: %v\n", err)
-				os.Exit(cli.ExitFailure)
+				cli.Exit(cli.ExitFailure)
 			}
 			fmt.Fprintf(os.Stderr, "stbench: wrote baseline %s\n", path)
 		}
@@ -223,7 +239,7 @@ func main() {
 			ref, err := bench.LoadBaseline(*compare, exps[i])
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "stbench: %v\n", err)
-				os.Exit(cli.ExitFailure)
+				cli.Exit(cli.ExitFailure)
 			}
 			regressions = append(regressions, bench.CompareExperiments(ref, docs[i], tolerance)...)
 		}
@@ -232,7 +248,7 @@ func main() {
 			for _, r := range regressions {
 				fmt.Fprintf(os.Stderr, "  %s\n", r)
 			}
-			os.Exit(cli.ExitFailure)
+			cli.Exit(cli.ExitFailure)
 		}
 		fmt.Fprintf(os.Stderr, "stbench: no regressions against baselines in %s\n", *compare)
 	}
@@ -240,10 +256,10 @@ func main() {
 		if *compare != "" {
 			fmt.Fprintf(os.Stderr, "stbench: skipping -compare: the run is incomplete\n")
 		}
-		os.Exit(cli.ExitInterrupted)
+		cli.Exit(cli.ExitInterrupted)
 	}
 	if effViolations > 0 {
 		fmt.Fprintf(os.Stderr, "stbench: %d effect violation(s); first: %s\n", effViolations, effFirst)
-		os.Exit(cli.ExitFailure)
+		cli.Exit(cli.ExitFailure)
 	}
 }

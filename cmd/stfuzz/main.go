@@ -80,7 +80,14 @@ func main() {
 		traceTail  = flag.Int("trace", 48, "events of trace tail in the failure narrative")
 		expectFail = flag.Bool("expect-failure", false, "exit 0 iff a failure WAS found (CI seeded-bug jobs)")
 	)
+	prof := cli.ProfileFlags(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, perr := prof.Start()
+	if perr != nil {
+		fatal(perr)
+	}
+	defer stopProf()
 
 	if *replay != "" {
 		log, err := explore.LoadLog(*replay)
@@ -147,7 +154,7 @@ func main() {
 			// -resume progress) are flushed above; the exit code says the
 			// campaign did not run to completion.
 			fmt.Println("stfuzz: interrupted; campaign incomplete")
-			os.Exit(cli.ExitInterrupted)
+			cli.Exit(cli.ExitInterrupted)
 		}
 		fmt.Println("stfuzz: no oracle violations found")
 		report(false, *expectFail)
@@ -203,18 +210,18 @@ func finish(log *explore.Log, minimize bool, minRuns int, out, snapOut string, t
 func report(failed, expectFail bool) {
 	if expectFail {
 		if failed {
-			os.Exit(cli.ExitOK)
+			cli.Exit(cli.ExitOK)
 		}
 		fmt.Fprintln(os.Stderr, "stfuzz: expected a failure, found none")
-		os.Exit(cli.ExitFailure)
+		cli.Exit(cli.ExitFailure)
 	}
 	if failed {
-		os.Exit(cli.ExitFailure)
+		cli.Exit(cli.ExitFailure)
 	}
-	os.Exit(cli.ExitOK)
+	cli.Exit(cli.ExitOK)
 }
 
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "stfuzz: %v\n", err)
-	os.Exit(cli.ExitUsage)
+	cli.Exit(cli.ExitUsage)
 }

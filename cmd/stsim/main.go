@@ -35,6 +35,7 @@ import (
 	"sort"
 
 	"stacktrack/internal/bench"
+	"stacktrack/internal/cli"
 	"stacktrack/internal/core"
 	"stacktrack/internal/cost"
 	"stacktrack/internal/metrics"
@@ -70,10 +71,18 @@ func main() {
 		restore       = flag.String("restore", "", "restore this snapshot (same flags as the checkpointing run) and finish it")
 		bisect        = flag.Bool("bisect", false, "binary-search virtual time for the first poison read or simulated crash")
 	)
+	prof := cli.ProfileFlags(flag.CommandLine)
 	flag.Parse()
 
+	stopProf, perr := prof.Start()
+	if perr != nil {
+		fmt.Fprintf(os.Stderr, "stsim: %v\n", perr)
+		cli.Exit(cli.ExitUsage)
+	}
+	defer stopProf()
+
 	if *lint {
-		os.Exit(runLint(*dataflow))
+		cli.Exit(runLint(*dataflow))
 	}
 
 	cfg := bench.Config{
@@ -142,7 +151,7 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "stsim: %v\n", err)
-		os.Exit(1)
+		cli.Exit(cli.ExitFailure)
 	}
 	report(res)
 	if res.San != nil {
@@ -154,7 +163,7 @@ func main() {
 	if *folded != "" {
 		if err := os.WriteFile(*folded, []byte(res.Folded), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "stsim: %v\n", err)
-			os.Exit(1)
+			cli.Exit(cli.ExitFailure)
 		}
 		fmt.Printf("\nfolded stacks written to %s (feed to flamegraph.pl)\n", *folded)
 	}
@@ -166,7 +175,7 @@ func main() {
 		fmt.Println(")")
 		if err := res.Trace.Dump(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "stsim: %v\n", err)
-			os.Exit(1)
+			cli.Exit(cli.ExitFailure)
 		}
 	}
 }
@@ -179,7 +188,7 @@ func main() {
 func runBisect(cfg bench.Config, outPath string) {
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "stsim: %v\n", err)
-		os.Exit(1)
+		cli.Exit(cli.ExitFailure)
 	}
 
 	// Base checkpoint at t=0, before any simulated work.
@@ -207,7 +216,7 @@ func runBisect(cfg bench.Config, outPath string) {
 		}
 		if res.UAFReads > 0 {
 			fmt.Printf("stsim: bisect — all %d poison reads occur in the drain phase, beyond the pausable horizon; nothing to bisect\n", res.UAFReads)
-			os.Exit(1)
+			cli.Exit(cli.ExitFailure)
 		}
 		fmt.Println("stsim: bisect — no poison read or simulated crash in this run")
 		return
@@ -263,7 +272,7 @@ func runBisect(cfg bench.Config, outPath string) {
 		}
 		fmt.Printf("stsim: clean checkpoint written to %s — resume it with -restore to step into the failure\n", outPath)
 	}
-	os.Exit(1)
+	cli.Exit(cli.ExitFailure)
 }
 
 // probeTo forks a session from a snapshot and advances it to virtual time

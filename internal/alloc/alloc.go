@@ -96,8 +96,13 @@ type Allocator struct {
 	heapBase  word.Addr // first heap word (fixed once heap is used)
 	heapBrk   word.Addr // next unclaimed heap page (grows up)
 
-	pages     map[uint64]*page // heap page number -> metadata
-	freeLists [][]word.Addr    // per-class stacks of free objects
+	// pages is dense page-indexed metadata: pages[i] covers the page at
+	// heapBase + i*PageWords. Pages are claimed contiguously from
+	// heapBase, so every page number in [heapBase, heapBrk) exists and
+	// locate is pure arithmetic plus one slice index — no map hashing on
+	// the allocation/free/scan hot paths.
+	pages     []page
+	freeLists [][]word.Addr // per-class stacks of free objects
 
 	g   allocGauges
 	obs Observer
@@ -109,7 +114,6 @@ func New(m *mem.Memory) *Allocator {
 	a := &Allocator{
 		m:         m,
 		staticBrk: word.Addr(word.LineWords), // skip line 0: null + red zone
-		pages:     make(map[uint64]*page),
 		freeLists: make([][]word.Addr, len(classSizes)),
 		g:         newAllocGauges(m.Metrics()),
 	}
@@ -171,8 +175,9 @@ func (a *Allocator) growClass(c int) bool {
 	a.heapBrk += PageWords
 	size := classSizes[c]
 	slots := PageWords / size
-	p := &page{base: base, class: int8(c), allocated: make([]bool, slots)}
-	a.pages[uint64(base)>>pageShift] = p
+	// base always equals the old heapBrk, so append keeps pages dense in
+	// page-number order.
+	a.pages = append(a.pages, page{base: base, class: int8(c), allocated: make([]bool, slots)})
 	a.g.pagesInUse.Add(1)
 	// Push slots in reverse so low addresses pop first.
 	for i := slots - 1; i >= 0; i-- {
@@ -206,7 +211,7 @@ func (a *Allocator) TryAlloc(tid int, n int) (word.Addr, error) {
 	p := fl[len(fl)-1]
 	a.freeLists[c] = fl[:len(fl)-1]
 
-	pg := a.pages[uint64(p)>>pageShift]
+	pg := &a.pages[(uint64(p)-uint64(a.heapBase))>>pageShift]
 	slot := int(p-pg.base) / classSizes[c]
 	if pg.allocated[slot] {
 		panic(fmt.Sprintf("alloc: free list corruption at %#x", uint64(p)))
@@ -286,15 +291,14 @@ func (a *Allocator) Unalloc(p word.Addr) {
 	}
 }
 
-// locate maps an address to its heap page and slot.
+// locate maps an address to its heap page and slot. Every page in
+// [heapBase, heapBrk) exists (pages are claimed contiguously), so the
+// range check alone establishes the index is valid.
 func (a *Allocator) locate(p word.Addr) (*page, int, bool) {
 	if a.heapBase == 0 || p < a.heapBase || p >= a.heapBrk {
 		return nil, 0, false
 	}
-	pg := a.pages[uint64(p)>>pageShift]
-	if pg == nil {
-		return nil, 0, false
-	}
+	pg := &a.pages[(uint64(p)-uint64(a.heapBase))>>pageShift]
 	return pg, int(p-pg.base) / classSizes[pg.class], true
 }
 

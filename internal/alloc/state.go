@@ -7,11 +7,7 @@
 
 package alloc
 
-import (
-	"sort"
-
-	"stacktrack/internal/word"
-)
+import "stacktrack/internal/word"
 
 // PageState is one heap page's metadata.
 type PageState struct {
@@ -33,14 +29,16 @@ type State struct {
 // SaveState copies out the complete mutable state.
 func (a *Allocator) SaveState() *State {
 	s := &State{StaticBrk: a.staticBrk, HeapBase: a.heapBase, HeapBrk: a.heapBrk}
-	for _, pg := range a.pages {
+	// The dense page slice is already in ascending Base order, preserving
+	// the sorted-by-Base layout the map-backed allocator serialized.
+	for i := range a.pages {
+		pg := &a.pages[i]
 		s.Pages = append(s.Pages, PageState{
 			Base:      pg.base,
 			Class:     pg.class,
 			Allocated: append([]bool(nil), pg.allocated...),
 		})
 	}
-	sort.Slice(s.Pages, func(i, j int) bool { return s.Pages[i].Base < s.Pages[j].Base })
 	s.FreeLists = make([][]word.Addr, len(a.freeLists))
 	for c := range a.freeLists {
 		s.FreeLists[c] = append([]word.Addr(nil), a.freeLists[c]...)
@@ -58,10 +56,14 @@ func (a *Allocator) RestoreState(s *State) {
 	}
 	a.heapBase = s.HeapBase
 	a.heapBrk = s.HeapBrk
-	a.pages = make(map[uint64]*page, len(s.Pages))
+	n := 0
+	if s.HeapBase != 0 {
+		n = int((uint64(s.HeapBrk) - uint64(s.HeapBase)) >> pageShift)
+	}
+	a.pages = make([]page, n)
 	for i := range s.Pages {
 		ps := &s.Pages[i]
-		a.pages[uint64(ps.Base)>>pageShift] = &page{
+		a.pages[(uint64(ps.Base)-uint64(s.HeapBase))>>pageShift] = page{
 			base:      ps.Base,
 			class:     ps.Class,
 			allocated: append([]bool(nil), ps.Allocated...),

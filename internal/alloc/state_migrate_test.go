@@ -1,0 +1,96 @@
+package alloc
+
+// Migration guard for the dense page-indexed slice: the serialized State
+// layout predates it (the map-backed allocator wrote Pages sorted by
+// Base), so a state saved by either representation must restore into the
+// dense slice and behave identically from there on.
+
+import (
+	"reflect"
+	"testing"
+
+	"stacktrack/internal/mem"
+	"stacktrack/internal/rng"
+	"stacktrack/internal/word"
+)
+
+// churn drives a mixed allocate/free workload so the page table holds
+// several size classes with fragmented bitmaps and populated free lists.
+func churn(a *Allocator, r *rng.Rand, steps int) []word.Addr {
+	var live []word.Addr
+	for i := 0; i < steps; i++ {
+		if len(live) > 0 && r.Bool(0.4) {
+			j := r.Intn(len(live))
+			a.Free(0, live[j])
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		}
+		live = append(live, a.Alloc(0, 1+r.Intn(24)))
+	}
+	return live
+}
+
+func TestStateRoundTripDensePages(t *testing.T) {
+	a, _ := newAlloc(t)
+	churn(a, rng.New(5), 600)
+
+	s := a.SaveState()
+	if len(s.Pages) == 0 {
+		t.Fatal("churn produced no pages; the test is vacuous")
+	}
+	for i := 1; i < len(s.Pages); i++ {
+		if s.Pages[i].Base <= s.Pages[i-1].Base {
+			t.Fatal("serialized Pages must stay sorted by Base (pre-slice layout)")
+		}
+	}
+
+	b := New(mem.New(mem.Config{Words: 1 << 16}))
+	b.RestoreState(s)
+	s2 := b.SaveState()
+	if !reflect.DeepEqual(s, s2) {
+		t.Fatal("SaveState after RestoreState differs from the original state")
+	}
+
+	// Behavioral identity: both allocators must serve the exact same
+	// addresses for the same request sequence from here on.
+	ra, rb := rng.New(9), rng.New(9)
+	for i := 0; i < 300; i++ {
+		n := 1 + ra.Intn(24)
+		if n != 1+rb.Intn(24) {
+			t.Fatal("rng streams diverged")
+		}
+		pa, pb := a.Alloc(0, n), b.Alloc(0, n)
+		if pa != pb {
+			t.Fatalf("alloc %d diverged after restore: %#x vs %#x", i, uint64(pa), uint64(pb))
+		}
+	}
+}
+
+// TestLocateDensePages pins the dense-index invariant: every address in
+// [heapBase, heapBrk) resolves through the slice, everything outside is
+// rejected, and resolution agrees with what Alloc handed out.
+func TestLocateDensePages(t *testing.T) {
+	a, _ := newAlloc(t)
+	live := churn(a, rng.New(11), 400)
+	for _, p := range live {
+		pg, _, ok := a.locate(p)
+		if !ok {
+			t.Fatalf("live object %#x not located", uint64(p))
+		}
+		if p < pg.base || p >= pg.base+word.Addr(1)<<pageShift {
+			t.Fatalf("object %#x located on page base %#x", uint64(p), uint64(pg.base))
+		}
+	}
+	if _, _, ok := a.locate(0); ok {
+		t.Fatal("address 0 must not resolve to a heap page")
+	}
+	if _, _, ok := a.locate(a.heapBrk); ok {
+		t.Fatal("heapBrk is one past the heap and must not resolve")
+	}
+	if a.heapBase > 0 {
+		if _, _, ok := a.locate(a.heapBase - 1); ok {
+			t.Fatal("addresses below heapBase must not resolve")
+		}
+	}
+}

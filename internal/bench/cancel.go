@@ -43,7 +43,13 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	// Measurement window complete; the drain phase inside Finish is
 	// bounded and runs uninterrupted.
-	return s.Finish()
+	res, err := s.Finish()
+	if err == nil {
+		// The session never escapes this function, so the memory can be
+		// recycled just as in Run.
+		s.in.m.Release()
+	}
+	return res, err
 }
 
 // run dispatches one point of a sweep through the cancellation seam when

@@ -139,6 +139,15 @@ type Config struct {
 	// in Result.San.Effects. Observes only — simulated results are
 	// bit-identical with it on or off.
 	CheckEffects bool
+
+	// hostLegacy forces the pre-optimization host code paths (scheduler
+	// runnable rescan, slow plain memory accesses, no memory reuse). It
+	// changes nothing simulated — the E17 host-throughput experiment uses
+	// it to measure the optimized paths against their legacy equivalents.
+	// Unexported on purpose: it is invisible to ConfigKey/content
+	// addressing (encoding/json skips unexported fields), exactly because
+	// it cannot change a single simulated bit. Set via Options.HostLegacy.
+	hostLegacy bool
 }
 
 // WithDefaults fills unset fields with the paper's parameters.
@@ -208,6 +217,19 @@ type Result struct {
 	// throughput in operations per virtual second.
 	Ops        uint64
 	Throughput float64
+
+	// Decisions is the scheduler's total decision count for the whole
+	// run — the unit of host interpreter work (one per basic block step,
+	// blocked-wait poll, or preemption choice). The host-throughput
+	// selftest (E17) aggregates it; it is not part of the exported
+	// point document.
+	Decisions uint64
+
+	// HostDerived carries host-side derived metrics (wall-clock rates)
+	// for synthetic points like E17's. The JSON exporter merges it into
+	// the point's Derived map. Always nil for simulated results, so
+	// committed baselines are untouched.
+	HostDerived map[string]float64
 
 	// SuccInserts/SuccDeletes/Hits classify operations completed during
 	// the measurement window.
@@ -324,7 +346,13 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return in.runAll()
+	res, err := in.runAll()
+	if err == nil {
+		// The run is complete and the Result is self-contained: recycle
+		// the (large) simulated memory for the sweep's next point.
+		in.m.Release()
+	}
+	return res, err
 }
 
 // newInstance assembles the simulation for cfg without running it.
@@ -336,9 +364,13 @@ func newInstance(cfg Config) (*instance, error) {
 
 	in := &instance{cfg: cfg}
 	in.reg = metrics.NewRegistry()
-	in.m = mem.New(mem.Config{Words: cfg.MemWords, Topology: cfg.Topology, Metrics: in.reg})
+	in.m = mem.New(mem.Config{Words: cfg.MemWords, Topology: cfg.Topology, Metrics: in.reg, NoReuse: cfg.hostLegacy})
 	in.al = alloc.New(in.m)
 	in.sc = sched.NewScheduler(in.m, cfg.Topology, cfg.Seed)
+	if cfg.hostLegacy {
+		in.m.SetLegacyPlain(true)
+		in.sc.SetLegacyScan(true)
+	}
 	if cfg.Profile {
 		in.prof = metrics.NewProfiler()
 	}
@@ -593,7 +625,7 @@ func (in *instance) finish() (*Result, error) {
 	warmIns, warmDel, warmHits := in.warmIns, in.warmDel, in.warmHits
 	opsBefore, horizon := in.opsBefore, in.horizon
 
-	res := &Result{Config: cfg}
+	res := &Result{Config: cfg, Decisions: in.sc.Decisions()}
 	for _, t := range in.threads {
 		res.Ops += t.OpsDone
 	}

@@ -1,0 +1,96 @@
+package bench
+
+// Bit-identity guard for the host-path optimizations: every structure ×
+// scheme × thread-count point must produce byte-identical simulated
+// results with the optimized host paths and with the legacy paths forced
+// (Config.hostLegacy). This is the in-process version of the check E17
+// performs on the full list sweep; it covers all five structures.
+
+import (
+	"testing"
+
+	"stacktrack/internal/cost"
+)
+
+// identitySchemes returns the scheme set the paper evaluates on a
+// structure (DTA is list-only).
+func identitySchemes(structure string) []string {
+	s := []string{SchemeOriginal, SchemeHazards, SchemeEpoch, SchemeStackTrack}
+	if structure == StructList {
+		s = append(s, SchemeDTA)
+	}
+	return s
+}
+
+func TestHostPathsBitIdentical(t *testing.T) {
+	structures := []string{StructList, StructSkipList, StructQueue, StructHash, StructRBTree}
+	for _, structure := range structures {
+		for _, scheme := range identitySchemes(structure) {
+			for _, threads := range []int{2, 7} {
+				cfg := Config{
+					Structure:     structure,
+					Scheme:        scheme,
+					Threads:       threads,
+					Seed:          0x57ACC7AC4,
+					InitialSize:   120,
+					KeyRange:      240,
+					Buckets:       64,
+					QueuePrefill:  64,
+					WarmupCycles:  cost.FromSeconds(0.0003),
+					MeasureCycles: cost.FromSeconds(0.0015),
+					MemWords:      1 << 20,
+					Validate:      true,
+				}
+				legacyCfg := cfg
+				legacyCfg.hostLegacy = true
+
+				opt, err := Run(cfg)
+				if err != nil {
+					t.Fatalf("%s/%s/%d optimized: %v", structure, scheme, threads, err)
+				}
+				leg, err := Run(legacyCfg)
+				if err != nil {
+					t.Fatalf("%s/%s/%d legacy: %v", structure, scheme, threads, err)
+				}
+				do, err := simDigest(scheme, threads, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				dl, err := simDigest(scheme, threads, leg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if string(do) != string(dl) {
+					t.Errorf("%s/%s/%d: optimized and legacy host paths disagree\noptimized: %s\nlegacy:    %s",
+						structure, scheme, threads, do, dl)
+				}
+				if opt.FinalCount != leg.FinalCount || opt.LiveObjects != leg.LiveObjects {
+					t.Errorf("%s/%s/%d: drain state differs: count %d vs %d, live %d vs %d",
+						structure, scheme, threads, opt.FinalCount, leg.FinalCount,
+						opt.LiveObjects, leg.LiveObjects)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkRunPoint measures one full simulated point end to end — the
+// core interpreter hot path under a real workload.
+func BenchmarkRunPoint(b *testing.B) {
+	for _, scheme := range []string{SchemeOriginal, SchemeStackTrack} {
+		b.Run(scheme, func(b *testing.B) {
+			cfg := smokeCfg(StructList, scheme, 8)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(res.Decisions), "ns/block")
+				}
+			}
+		})
+	}
+}

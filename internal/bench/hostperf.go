@@ -1,0 +1,131 @@
+package bench
+
+// E17 — host-throughput selftest. Every other experiment measures the
+// simulated machine; this one measures the simulator itself: how many
+// scheduling decisions (basic blocks retired, blocked-wait polls, and
+// preemption decisions — the unit of interpreter work) per host second
+// the core sustains on the Figure 1 list sweep. It runs the identical
+// sweep twice — once with the pre-optimization host code paths forced
+// (Config.hostLegacy) and once on the optimized paths — verifies the two
+// produce bit-identical simulated results, and reports host wall-clock
+// metrics for both plus the speedup.
+//
+// Simulated packages may not read host clocks (the simclock analyzer
+// enforces it), so the wall clock arrives by injection: the hosting CLI
+// installs HostClock before invoking the experiment.
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// HostClock, when non-nil, returns monotonic host time in nanoseconds.
+// It is injected by host-side front-ends (cmd/stbench); simulation code
+// never reads it, so installing it cannot change simulated results. E17
+// refuses to run without it.
+var HostClock func() int64
+
+// hostSelftestSchemes is the Figure 1 list sweep's scheme set — E17
+// measures exactly the E1a workload.
+var hostSelftestSchemes = []string{
+	SchemeOriginal, SchemeHazards, SchemeEpoch, SchemeStackTrack, SchemeDTA,
+}
+
+// simDigest is the part of a point the two modes must agree on bit for
+// bit: everything simulated, nothing host-derived.
+func simDigest(series string, threads int, res *Result) ([]byte, error) {
+	return json.Marshal(struct {
+		Series  string
+		Threads int
+		Ops     uint64
+		Metrics any
+	}{series, threads, res.Ops, res.Metrics})
+}
+
+// HostSelftest regenerates E17: the list sweep timed under both host
+// modes. The emitted points are per-mode aggregates — Ops carries total
+// scheduling decisions, Throughput carries host decisions ("blocks") per
+// second so the standard throughput gate watches host speed — with the
+// detailed rates in derived.host_*.
+func HostSelftest(o Options) (*Table, error) {
+	if HostClock == nil {
+		return nil, fmt.Errorf("bench: E17 measures host wall-clock and needs an injected clock; run it through stbench")
+	}
+	o = o.WithDefaults()
+
+	type modeOut struct {
+		name    string
+		ns      int64
+		blocks  uint64
+		digests [][]byte
+	}
+	var modes []modeOut
+	for _, legacy := range []bool{true, false} {
+		mode := modeOut{name: "optimized"}
+		if legacy {
+			mode.name = "legacy"
+		}
+		mo := o
+		mo.HostLegacy = legacy
+		var digestErr error
+		mo.Collect = func(series string, threads int, res *Result) {
+			mode.blocks += res.Decisions
+			d, err := simDigest(series, threads, res)
+			if err != nil && digestErr == nil {
+				digestErr = err
+			}
+			mode.digests = append(mode.digests, d)
+		}
+		start := HostClock()
+		if _, err := throughputSweep(StructList, hostSelftestSchemes, mo); err != nil {
+			return nil, err
+		}
+		mode.ns = HostClock() - start
+		if digestErr != nil {
+			return nil, digestErr
+		}
+		if mode.ns <= 0 {
+			mode.ns = 1 // a broken injected clock must not divide by zero
+		}
+		o.progress("host-selftest %s: %d decisions in %.0f ms", mode.name, mode.blocks, float64(mode.ns)/1e6)
+		modes = append(modes, mode)
+	}
+
+	// The optimizations' contract: both modes simulated the same machine.
+	leg, opt := &modes[0], &modes[1]
+	if len(leg.digests) != len(opt.digests) {
+		return nil, fmt.Errorf("bench: E17 modes produced %d vs %d points", len(leg.digests), len(opt.digests))
+	}
+	for i := range leg.digests {
+		if string(leg.digests[i]) != string(opt.digests[i]) {
+			return nil, fmt.Errorf("bench: E17 point %d differs between legacy and optimized host paths — the optimization changed simulated behavior", i)
+		}
+	}
+
+	speedup := float64(leg.ns) / float64(opt.ns)
+	tb := &Table{Cols: []string{"mode", "host_ms", "blocks", "blocks_per_sec", "ns_per_block", "speedup"}}
+	for _, m := range []*modeOut{leg, opt} {
+		bps := float64(m.blocks) * 1e9 / float64(m.ns)
+		nspb := float64(m.ns) / float64(m.blocks)
+		host := map[string]float64{
+			"host_ms":             float64(m.ns) / 1e6,
+			"host_blocks_per_sec": bps,
+			"host_ns_per_block":   nspb,
+		}
+		sp := ""
+		if m == opt {
+			host["host_speedup"] = speedup
+			sp = fmt.Sprintf("%.2f", speedup)
+		}
+		// A synthetic aggregate point per mode: Throughput carries host
+		// blocks/sec so the existing throughput gate watches host speed.
+		o.collect(m.name, 0, &Result{
+			Ops:         m.blocks,
+			Throughput:  bps,
+			HostDerived: host,
+		})
+		tb.AddRow(m.name, f0(float64(m.ns)/1e6), fmt.Sprintf("%d", m.blocks), f0(bps), fmt.Sprintf("%.1f", nspb), sp)
+	}
+	tb.Title = fmt.Sprintf("E17 — Host throughput selftest (list sweep, %.2fx speedup)", speedup)
+	return tb, nil
+}

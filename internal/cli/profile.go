@@ -1,0 +1,106 @@
+package cli
+
+// Host pprof capture shared by the command-line front ends (stbench,
+// stsim, stfuzz). These profiles measure the simulator as a program —
+// host CPU samples, host allocations — never the simulated machine;
+// simulated packages stay free of host clocks and profiling hooks (the
+// simclock analyzer enforces it), so only the cmd/ layer may own this.
+//
+// The front ends exit through Exit (never os.Exit directly) so a
+// -cpuprofile taken on a failing run is still flushed and readable.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiles holds the -cpuprofile/-memprofile flag values for one command.
+type Profiles struct {
+	CPU string
+	Mem string
+
+	cpuFile *os.File
+	stopped bool
+}
+
+// ProfileFlags registers the conventional -cpuprofile and -memprofile
+// flags on fs (typically flag.CommandLine) and returns their holder.
+// Call Start after flag parsing.
+func ProfileFlags(fs *flag.FlagSet) *Profiles {
+	p := &Profiles{}
+	fs.StringVar(&p.CPU, "cpuprofile", "", "write a host CPU profile to this file")
+	fs.StringVar(&p.Mem, "memprofile", "", "write a host allocation profile to this file at exit")
+	return p
+}
+
+// Start begins CPU profiling when requested and registers the flush as
+// an exit hook, so profiles survive error paths taken through Exit. The
+// returned stop is idempotent; defer it to cover the normal return from
+// main as well.
+func (p *Profiles) Start() (stop func(), err error) {
+	if p.CPU != "" {
+		f, err := os.Create(p.CPU)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		p.cpuFile = f
+	}
+	AtExit(p.flush)
+	return p.flush, nil
+}
+
+// flush stops the CPU profile and writes the allocation profile. Any
+// error is reported to stderr rather than returned: by the time flush
+// runs the command's verdict is already decided, and a profile hiccup
+// must not change the exit status.
+func (p *Profiles) flush() {
+	if p.stopped {
+		return
+	}
+	p.stopped = true
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+		}
+	}
+	if p.Mem != "" {
+		f, err := os.Create(p.Mem)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			return
+		}
+		runtime.GC() // flush outstanding allocations into the profile
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+		}
+	}
+}
+
+// exitHooks run, last registered first, when the process leaves through
+// Exit. Registration and Exit both happen on the main goroutine.
+var exitHooks []func()
+
+// AtExit registers f to run before the process terminates through Exit.
+func AtExit(f func()) { exitHooks = append(exitHooks, f) }
+
+// Exit runs the registered hooks and terminates with code. Commands use
+// it instead of os.Exit so -cpuprofile/-memprofile output is flushed on
+// every exit path, not only the normal return.
+func Exit(code int) {
+	for i := len(exitHooks) - 1; i >= 0; i-- {
+		exitHooks[i]()
+	}
+	exitHooks = nil
+	os.Exit(code)
+}

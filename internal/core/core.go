@@ -153,6 +153,13 @@ type tstate struct {
 	refsLen int // Go mirror of the slow-path reference-set length
 
 	runner *Runner // the thread's operation runner, for retire interception
+
+	// Scan scratch buffers, borrowed by a starting scan (stolen so an
+	// overlapping scan — e.g. Drain's sync scan racing a paused one —
+	// falls back to fresh allocations) and handed back when it ends.
+	scanPtrs  []word.Addr
+	scanFound []bool
+	scanHeld  map[word.Addr]struct{}
 }
 
 // coreCounters holds the StackTrack layer's metric handles.

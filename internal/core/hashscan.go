@@ -47,16 +47,23 @@ type hashedScanState struct {
 	ended bool
 }
 
-// startHashedScan snapshots the free set and prepares the state machine.
+// startHashedScan snapshots the free set and prepares the state machine,
+// borrowing the thread's scratch buffers instead of allocating per scan.
 func (st *StackTrack) startHashedScan(t *sched.Thread) *hashedScanState {
 	ts := st.state(t)
+	held := ts.scanHeld
+	if held == nil {
+		held = make(map[word.Addr]struct{}, 64)
+	}
+	clear(held)
 	s := &hashedScanState{
 		st:         st,
-		ptrs:       append([]word.Addr(nil), ts.freeSet...),
+		ptrs:       append(ts.scanPtrs[:0], ts.freeSet...),
 		victims:    st.sc.Threads(),
 		slowActive: st.slowCount > 0,
-		held:       make(map[word.Addr]struct{}, 64),
+		held:       held,
 	}
+	ts.scanPtrs, ts.scanHeld = nil, nil
 	ts.freeSet = ts.freeSet[:0]
 	st.c.scans.Inc(t.ID)
 	t.Trace(sched.TraceScanStart, uint64(len(s.ptrs)))
@@ -205,4 +212,5 @@ func (s *hashedScanState) finish(t *sched.Thread) {
 		freed++
 	}
 	t.Trace(sched.TraceScanEnd, freed)
+	ts.scanPtrs, ts.scanHeld = s.ptrs[:0], s.held
 }

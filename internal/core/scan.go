@@ -66,16 +66,27 @@ func (st *StackTrack) startScan(t *sched.Thread) scanner {
 	return st.startPtrScan(t)
 }
 
-// startPtrScan prepares the per-pointer (Algorithm 1) scan.
+// startPtrScan prepares the per-pointer (Algorithm 1) scan, borrowing the
+// thread's scratch buffers instead of allocating per scan.
 func (st *StackTrack) startPtrScan(t *sched.Thread) *scanState {
 	ts := st.state(t)
+	n := len(ts.freeSet)
+	found := ts.scanFound
+	if cap(found) < n {
+		found = make([]bool, n)
+	}
+	found = found[:n]
+	for i := range found {
+		found[i] = false
+	}
 	s := &scanState{
 		st:         st,
-		ptrs:       append([]word.Addr(nil), ts.freeSet...),
-		found:      make([]bool, len(ts.freeSet)),
+		ptrs:       append(ts.scanPtrs[:0], ts.freeSet...),
+		found:      found,
 		victims:    st.sc.Threads(),
 		slowActive: st.slowCount > 0,
 	}
+	ts.scanPtrs, ts.scanFound = nil, nil
 	ts.freeSet = ts.freeSet[:0]
 	st.c.scans.Inc(t.ID)
 	t.Trace(sched.TraceScanStart, uint64(len(s.ptrs)))
@@ -278,11 +289,14 @@ func (s *scanState) finishPtr(t *sched.Thread) {
 	s.advance()
 }
 
-// end emits the scan-completion event exactly once.
+// end emits the scan-completion event exactly once and returns the
+// borrowed scratch buffers to the thread's state.
 func (s *scanState) end(t *sched.Thread) {
 	if !s.ended {
 		s.ended = true
 		t.Trace(sched.TraceScanEnd, s.freed)
+		ts := s.st.state(t)
+		ts.scanPtrs, ts.scanFound = s.ptrs[:0], s.found[:0]
 	}
 }
 

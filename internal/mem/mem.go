@@ -38,6 +38,7 @@ package mem
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"stacktrack/internal/metrics"
 	"stacktrack/internal/topo"
@@ -74,6 +75,11 @@ type Config struct {
 	// of it, which obtain it via Memory.Metrics) records into. nil
 	// creates a private registry, so standalone uses stay unchanged.
 	Metrics *metrics.Registry
+	// NoReuse bypasses the package's released-memory pool: the Memory is
+	// always freshly allocated (and Release becomes a no-op for it). The
+	// host-legacy measurement mode uses this to reproduce pre-pool
+	// allocation behavior.
+	NoReuse bool
 }
 
 // Memory is the simulated memory system. All methods take the simulated
@@ -110,6 +116,27 @@ type Memory struct {
 	reg *metrics.Registry
 	c   memCounters
 	obs Observer
+
+	// fastPlain caches "no live transaction, no observer, fast path
+	// enabled": the single branch the plain-access fast path tests.
+	// refreshFast recomputes it at every liveTx/obs/legacy transition.
+	fastPlain   bool
+	legacyPlain bool // host knob: force the original slow plain-access path
+	noReuse     bool // this Memory never enters the released-memory pool
+}
+
+// refreshFast recomputes the plain-access fast-path gate. Call after any
+// change to liveTx, obs, or legacyPlain.
+func (m *Memory) refreshFast() {
+	m.fastPlain = m.liveTx == 0 && m.obs == nil && !m.legacyPlain
+}
+
+// SetLegacyPlain forces (on=true) the original slow path for plain
+// accesses — the host-legacy measurement mode. Simulated behavior is
+// identical either way; only host work differs.
+func (m *Memory) SetLegacyPlain(on bool) {
+	m.legacyPlain = on
+	m.refreshFast()
 }
 
 // New creates a Memory. It panics if the configuration is invalid, since a
@@ -127,6 +154,16 @@ func New(cfg Config) *Memory {
 	if cfg.Metrics == nil {
 		cfg.Metrics = metrics.NewRegistry()
 	}
+	if !cfg.NoReuse {
+		if m := takePooled(cfg.Words); m != nil {
+			m.topology = cfg.Topology
+			m.pressure = cfg.Pressure
+			m.reg = cfg.Metrics
+			m.c = newMemCounters(cfg.Metrics)
+			m.refreshFast()
+			return m
+		}
+	}
 	lines := (cfg.Words + word.LineWords - 1) / word.LineWords
 	m := &Memory{
 		words:       make([]uint64, cfg.Words),
@@ -138,8 +175,76 @@ func New(cfg Config) *Memory {
 		pressure:    cfg.Pressure,
 		reg:         cfg.Metrics,
 		c:           newMemCounters(cfg.Metrics),
+		noReuse:     cfg.NoReuse,
 	}
+	m.refreshFast()
 	return m
+}
+
+// memPool holds released memories keyed by word count. A released Memory
+// has been scrubbed back to the pristine zero state New would produce, so
+// reuse is observationally identical to a fresh allocation — it only
+// avoids the (large, mostly-untouched) backing allocations. Sweeps create
+// one Memory per point; reuse removes that churn entirely. The mutex is
+// host-side only (the pool is shared by concurrently served jobs); the
+// simulation itself remains single-goroutine.
+var memPool struct {
+	mu   sync.Mutex
+	free map[int][]*Memory
+}
+
+func takePooled(words int) *Memory {
+	memPool.mu.Lock()
+	defer memPool.mu.Unlock()
+	list := memPool.free[words]
+	if len(list) == 0 {
+		return nil
+	}
+	m := list[len(list)-1]
+	memPool.free[words] = list[:len(list)-1]
+	return m
+}
+
+// Release scrubs the memory back to its initial zero state and returns it
+// to the package pool for a future New of the same size. Only the prefix
+// below the high-water mark is nonzero, so the scrub is proportional to
+// memory actually touched, not memory configured. The caller must be done
+// with the Memory and everything built on it (allocator, transactions).
+func (m *Memory) Release() {
+	if m == nil || m.noReuse {
+		return
+	}
+	hi := int(m.hi)
+	lines := (hi + word.LineWords - 1) / word.LineWords
+	clear(m.words[:hi])
+	clear(m.lineReaders[:lines])
+	clear(m.lineWriter[:lines])
+	clear(m.sharers[:lines])
+	clear(m.lastW[:lines])
+	m.hi = 0
+	// Transaction descriptors stay with the Memory (their buffers are
+	// reusable by construction); reset them to idle.
+	for _, tx := range m.txs {
+		if tx == nil {
+			continue
+		}
+		tx.state = TxIdle
+		tx.reason = NoAbort
+		tx.readLines = tx.readLines[:0]
+		tx.writeLines = tx.writeLines[:0]
+		tx.buf.reset()
+	}
+	m.liveTx = 0
+	m.obs = nil
+	m.legacyPlain = false
+	m.pressure = noPressure{}
+	m.refreshFast()
+	memPool.mu.Lock()
+	if memPool.free == nil {
+		memPool.free = make(map[int][]*Memory)
+	}
+	memPool.free[len(m.words)] = append(memPool.free[len(m.words)], m)
+	memPool.mu.Unlock()
 }
 
 // Metrics returns the registry this memory records into. The other
@@ -212,6 +317,18 @@ func (m *Memory) check(a word.Addr) {
 // (requester wins), then returns the committed value plus whether the read
 // was a coherence miss.
 func (m *Memory) ReadPlain(tid int, a word.Addr) (uint64, bool) {
+	// Fast path: no live transaction (no strong-isolation dooming), no
+	// observer (no analysis hook), and the address below the high-water
+	// mark (bounds and watermark both already established). Identical
+	// simulated effects to the general path below, minus dead branches.
+	if m.fastPlain && uint64(a) < m.hi {
+		m.c.plainReads.Inc(tid)
+		return m.words[a], m.readTouch(tid, word.Line(a))
+	}
+	return m.readPlainSlow(tid, a)
+}
+
+func (m *Memory) readPlainSlow(tid int, a word.Addr) (uint64, bool) {
 	m.check(a)
 	m.c.plainReads.Inc(tid)
 	l := word.Line(a)
@@ -231,6 +348,16 @@ func (m *Memory) ReadPlain(tid int, a word.Addr) (uint64, bool) {
 // transactional writer and all transactional readers of the line. It
 // reports whether acquiring the line missed.
 func (m *Memory) WritePlain(tid int, a word.Addr, v uint64) bool {
+	// Fast path: see ReadPlain.
+	if m.fastPlain && uint64(a) < m.hi {
+		m.c.plainWrites.Inc(tid)
+		m.words[a] = v
+		return m.writeTouch(tid, word.Line(a))
+	}
+	return m.writePlainSlow(tid, a, v)
+}
+
+func (m *Memory) writePlainSlow(tid int, a word.Addr, v uint64) bool {
 	m.check(a)
 	m.c.plainWrites.Inc(tid)
 	l := word.Line(a)
@@ -329,6 +456,7 @@ func (m *Memory) doom(victim int, reason AbortReason) {
 	tx.reason = reason
 	m.releaseLines(tx)
 	m.liveTx--
+	m.refreshFast()
 }
 
 // releaseLines clears the line table entries owned by tx.

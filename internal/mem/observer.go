@@ -31,7 +31,10 @@ type Observer interface {
 }
 
 // SetObserver installs o (nil detaches).
-func (m *Memory) SetObserver(o Observer) { m.obs = o }
+func (m *Memory) SetObserver(o Observer) {
+	m.obs = o
+	m.refreshFast()
+}
 
 // NoteSync announces a synchronization action that the simulation models
 // host-side rather than as memory traffic — e.g. RefCount's per-node

@@ -135,4 +135,5 @@ func (m *Memory) RestoreState(s *State) {
 			m.liveTx++
 		}
 	}
+	m.refreshFast()
 }

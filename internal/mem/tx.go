@@ -118,6 +118,7 @@ func (m *Memory) Begin(tid int) *Tx {
 	tx.reason = NoAbort
 	tx.buf.reset()
 	m.liveTx++
+	m.refreshFast()
 	m.c.txBegins.Inc(tid)
 	if m.obs != nil {
 		m.obs.TxBegin(tid)
@@ -155,8 +156,10 @@ func (m *Memory) TxRead(tx *Tx, a word.Addr) (uint64, bool, AbortReason) {
 		return 0, false, tx.reason
 	}
 	m.c.txReads.Inc(tx.tid)
-	if v, ok := tx.buf.get(a); ok { // store-to-load forwarding
-		return v, false, NoAbort
+	if len(tx.buf.order) > 0 { // store-to-load forwarding
+		if v, ok := tx.buf.get(a); ok {
+			return v, false, NoAbort
+		}
 	}
 	l := word.Line(a)
 	bit := uint64(1) << uint(tx.tid)
@@ -223,6 +226,7 @@ func (m *Memory) selfAbort(tx *Tx, reason AbortReason) {
 	tx.reason = reason
 	m.releaseLines(tx)
 	m.liveTx--
+	m.refreshFast()
 }
 
 // AbortTx explicitly aborts thread tid's active transaction (if any) with
@@ -279,6 +283,7 @@ func (m *Memory) Commit(tx *Tx) AbortReason {
 	m.c.committedActions.Add(tx.tid, uint64(len(tx.buf.order)))
 	m.releaseLines(tx)
 	m.liveTx--
+	m.refreshFast()
 	tx.state = TxIdle
 	m.c.commits.Inc(tx.tid)
 	if m.obs != nil {

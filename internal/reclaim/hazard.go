@@ -39,6 +39,11 @@ type Hazard struct {
 	base [64]word.Addr // per-thread hazard-slot arrays in simulated memory
 	bufs [64][]word.Addr
 	used [64]int // per-op high-water slot mark, so EndOp clears only what was set
+
+	// held is scan's scratch set. Scans run synchronously inside the
+	// single-goroutine simulation, so one reusable map (cleared per scan)
+	// replaces a fresh allocation every DefaultHazardLimit retires.
+	held map[word.Addr]struct{}
 }
 
 // NewHazard creates the hazard-pointer scheme with the given slot count and
@@ -127,7 +132,11 @@ func (h *Hazard) Retire(t *sched.Thread, p word.Addr) {
 
 // scan frees every buffered node not covered by any thread's hazards.
 func (h *Hazard) scan(t *sched.Thread) {
-	held := make(map[word.Addr]struct{}, 64*h.slots)
+	if h.held == nil {
+		h.held = make(map[word.Addr]struct{}, 64*h.slots)
+	}
+	held := h.held
+	clear(held)
 	for _, u := range h.sc.Threads() {
 		for i := 0; i < h.slots; i++ {
 			if v := t.LoadPlain(h.base[u.ID] + word.Addr(i)); v != 0 {

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"math/bits"
 
 	"stacktrack/internal/cost"
 	"stacktrack/internal/mem"
@@ -69,7 +70,31 @@ type Scheduler struct {
 
 	jitter *rng.Rand
 	policy Policy
-	cands  []int // reusable runnable-candidate buffer
+	cands  []int // runnable-candidate buffer (ascending context ids)
+
+	// Incrementally maintained ready structure. A context's runnability
+	// only changes when its occupant's virtual clock or its queue changes
+	// (step, blocked poll, rotate, retire, crash, AddThread) or when the
+	// horizon moves (once per Run call) — so instead of rescanning every
+	// context per decision, mutation sites mark their context dirty and
+	// only dirty contexts are re-evaluated, in ascending id order, before
+	// the next pick. Untouched contexts are pure no-ops under the legacy
+	// scan, so the side-effect sequence (horizon rotations, retirements)
+	// is bit-identical. occVT caches each ready context's occupant clock
+	// so DefaultPick scans a flat array instead of chasing pointers.
+	fastReady  bool // topology fits the 64-bit dirty mask
+	legacyScan bool // host knob: force the per-decision O(contexts) rescan
+	fastPick   bool // occVT is fresh (maintained while Run is in fast mode)
+	dirtyMask  uint64
+	ready      []bool
+	occVT      []cost.Cycles
+
+	// Sibling-activity cache: ctxLive[c] mirrors "context c's queue has a
+	// live occupant", coreLive[k] counts live contexts on core k. Both are
+	// maintained at every queue mutation, making SiblingActive O(1).
+	ctxLive  []bool
+	coreLive []int32
+	coreOf   []int32
 
 	// Decision counter and one-shot pause points (checkpoint support).
 	// decisions counts scheduling decisions — one per Run loop iteration
@@ -104,8 +129,16 @@ func NewScheduler(m *mem.Memory, tp topo.Topology, seed uint64) *Scheduler {
 	n := tp.Contexts()
 	s.contexts = make([]*hwContext, n)
 	s.siblings = make([][]int, n)
+	s.fastReady = n <= 64
+	s.cands = make([]int, 0, n)
+	s.ready = make([]bool, n)
+	s.occVT = make([]cost.Cycles, n)
+	s.ctxLive = make([]bool, n)
+	s.coreLive = make([]int32, tp.Cores)
+	s.coreOf = make([]int32, n)
 	for i := 0; i < n; i++ {
 		s.contexts[i] = &hwContext{id: i}
+		s.coreOf[i] = int32(tp.CoreOf(i))
 	}
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
@@ -130,6 +163,60 @@ func (s *Scheduler) AddThread(t *Thread, st Stepper) {
 	ctx := s.contexts[t.hw]
 	ctx.queue = append(ctx.queue, t)
 	t.running = len(ctx.queue) == 1
+	s.setLive(ctx, !ctx.queue[0].done)
+	s.markDirty(ctx.id)
+}
+
+// SetLegacyScan forces the per-decision O(contexts) candidate rescan
+// instead of the incremental ready structure. Both produce bit-identical
+// schedules; the knob exists so the host-throughput selftest (bench E17)
+// and the bit-identity tests can measure and verify the optimized path
+// against the original one.
+func (s *Scheduler) SetLegacyScan(on bool) { s.legacyScan = on }
+
+func (s *Scheduler) markDirty(id int) { s.dirtyMask |= 1 << uint(id) }
+
+// setLive maintains the sibling-activity cache for one context.
+func (s *Scheduler) setLive(ctx *hwContext, live bool) {
+	if s.ctxLive[ctx.id] != live {
+		s.ctxLive[ctx.id] = live
+		if live {
+			s.coreLive[s.coreOf[ctx.id]]++
+		} else {
+			s.coreLive[s.coreOf[ctx.id]]--
+		}
+	}
+}
+
+// refreshContext re-evaluates one context's runnability (with runnable's
+// usual side effects: retiring finished occupants, rotating past
+// out-of-horizon ones) and patches the candidate list and occupant-clock
+// cache to match.
+func (s *Scheduler) refreshContext(id int, until cost.Cycles) {
+	ok := s.runnable(s.contexts[id], until)
+	if ok {
+		s.occVT[id] = s.contexts[id].queue[0].vtime
+	}
+	if ok == s.ready[id] {
+		return
+	}
+	s.ready[id] = ok
+	if ok {
+		i := len(s.cands)
+		s.cands = append(s.cands, 0)
+		for i > 0 && s.cands[i-1] > id {
+			s.cands[i] = s.cands[i-1]
+			i--
+		}
+		s.cands[i] = id
+	} else {
+		for i, c := range s.cands {
+			if c == id {
+				s.cands = append(s.cands[:i], s.cands[i+1:]...)
+				break
+			}
+		}
+	}
 }
 
 // Threads returns the registered threads (the scanner's activity array).
@@ -187,6 +274,18 @@ func (s *Scheduler) SliceElapsed(ctx int) cost.Cycles {
 // is ascending, so the first minimum wins).
 func (s *Scheduler) DefaultPick(cands []int) int {
 	best := 0
+	if s.fastPick && len(cands) > 0 {
+		// Fast mode keeps every candidate's occupant clock in a flat
+		// array, so the min scan is one load per candidate instead of
+		// three dependent pointer dereferences.
+		bv := s.occVT[cands[0]]
+		for i := 1; i < len(cands); i++ {
+			if v := s.occVT[cands[i]]; v < bv {
+				bv, best = v, i
+			}
+		}
+		return best
+	}
 	for i := 1; i < len(cands); i++ {
 		if s.contexts[cands[i]].queue[0].vtime < s.contexts[cands[best]].queue[0].vtime {
 			best = i
@@ -209,13 +308,17 @@ func (s *Scheduler) SiblingActive(tid int) bool {
 	if tid >= len(s.threads) {
 		return false
 	}
-	for _, sib := range s.siblings[s.threads[tid].hw] {
-		q := s.contexts[sib].queue
-		if len(q) > 0 && !q[0].done {
-			return true
-		}
+	return s.siblingLive(s.threads[tid].hw)
+}
+
+// siblingLive is SiblingActive keyed by hardware context (the form the
+// run loop uses: it already holds the thread, so no id lookup).
+func (s *Scheduler) siblingLive(hw int) bool {
+	n := s.coreLive[s.coreOf[hw]]
+	if s.ctxLive[hw] {
+		n--
 	}
-	return false
+	return n > 0
 }
 
 // Oversubscribed reports whether any context multiplexes several threads.
@@ -253,6 +356,7 @@ func (s *Scheduler) Crash(tid int) {
 			break
 		}
 	}
+	s.markDirty(ctx.id)
 }
 
 // Decisions returns how many scheduling decisions the run has made so
@@ -285,8 +389,42 @@ func (s *Scheduler) Paused() bool { return s.pausedFlag }
 // repeatedly with increasing horizons (warmup, then measurement).
 func (s *Scheduler) Run(until cost.Cycles) {
 	s.pausedFlag = false
+	fast := s.fastReady && !s.legacyScan
+	s.fastPick = fast
+	if fast {
+		// The horizon moved (and anything may have mutated between Run
+		// calls): rebuild the ready set with a full ascending scan. This
+		// reproduces exactly the side effects the legacy scan would have
+		// had on its first iteration.
+		s.cands = s.cands[:0]
+		for i := range s.ready {
+			s.ready[i] = false
+		}
+		for i := range s.contexts {
+			s.refreshContext(i, until)
+		}
+		s.dirtyMask = 0
+	}
 	for {
-		cands := s.runnableContexts(until)
+		var cands []int
+		if fast {
+			if m := s.dirtyMask; m != 0 {
+				// Re-evaluate only the contexts touched since the last
+				// decision, in ascending id order — the same order (and
+				// therefore the same rotate/retire side-effect sequence)
+				// the legacy full scan produces, because clean contexts
+				// contribute no side effects.
+				for m != 0 {
+					id := bits.TrailingZeros64(m)
+					m &^= 1 << uint(id)
+					s.refreshContext(id, until)
+				}
+				s.dirtyMask = 0
+			}
+			cands = s.cands
+		} else {
+			cands = s.runnableContexts(until)
+		}
 		if len(cands) == 0 {
 			return
 		}
@@ -350,6 +488,7 @@ func (s *Scheduler) Run(until cost.Cycles) {
 					t.Prof.AddPhase(metrics.PhaseBlocked, uint64(c))
 				}
 				ctx.clock = t.vtime
+				s.markDirty(ctx.id)
 				continue
 			}
 		}
@@ -360,7 +499,10 @@ func (s *Scheduler) Run(until cost.Cycles) {
 			s.retireFromContext(ctx, until)
 			continue
 		}
-		if s.Topo.HTSlowdown > 0 && s.SiblingActive(t.ID) {
+		// One sibling-activity lookup feeds both the HT-slowdown charge and
+		// the probabilistic eviction below.
+		sib := s.siblingLive(t.hw)
+		if sib && s.Topo.HTSlowdown > 0 {
 			// Shared execution units: the step takes longer while the
 			// sibling hyperthread is busy.
 			extra := cost.Cycles(float64(t.vtime-before) * s.Topo.HTSlowdown)
@@ -369,8 +511,11 @@ func (s *Scheduler) Run(until cost.Cycles) {
 				t.Prof.AddPhase(metrics.PhaseHTSlow, uint64(extra))
 			}
 		}
-		s.maybeSiblingEvict(t)
+		if sib {
+			s.maybeSiblingEvict(t)
+		}
 		ctx.clock = t.vtime
+		s.markDirty(ctx.id)
 	}
 }
 
@@ -457,9 +602,12 @@ func (s *Scheduler) retireFromContext(ctx *hwContext, until cost.Cycles) {
 }
 
 func (s *Scheduler) switchIn(ctx *hwContext, until cost.Cycles) {
+	s.markDirty(ctx.id)
 	if len(ctx.queue) == 0 {
+		s.setLive(ctx, false)
 		return
 	}
+	s.setLive(ctx, !ctx.queue[0].done)
 	in := ctx.queue[0]
 	was := in.vtime
 	in.vtime = maxCycles(in.vtime, ctx.clock) + cost.ContextSwitch
@@ -477,12 +625,11 @@ func (s *Scheduler) switchIn(ctx *hwContext, until cost.Cycles) {
 // maybeSiblingEvict applies the probabilistic capacity-eviction term: when
 // the sibling hyperthread is active, a transaction loses a tracked line
 // with probability proportional to its footprint (shared L1 pressure).
+// The caller has already established that the sibling is active; the
+// random draw happens iff a transaction is live, exactly as before.
 func (s *Scheduler) maybeSiblingEvict(t *Thread) {
 	tx := t.Tx
 	if tx == nil || !tx.Active() {
-		return
-	}
-	if !s.SiblingActive(t.ID) {
 		return
 	}
 	p := s.Topo.SiblingEvictRate * float64(tx.Footprint()) / float64(s.Topo.L1Lines)

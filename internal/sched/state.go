@@ -135,6 +135,13 @@ func (s *Scheduler) RestoreState(st *State) {
 		c.clock = cs.Clock
 		c.sliceStart = cs.SliceStart
 	}
+	// The queues were rebuilt wholesale: resync the sibling-activity cache
+	// and mark everything dirty for the ready structure (the next Run call
+	// rebuilds it against its horizon anyway).
+	for _, c := range s.contexts {
+		s.setLive(c, len(c.queue) > 0 && !c.queue[0].done)
+		s.markDirty(c.id)
+	}
 }
 
 // RebuildFrame reconstructs a stack-frame handle against t from a saved
